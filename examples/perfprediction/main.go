@@ -1,0 +1,70 @@
+// Performance-prediction demo: the paper's §V model as a design-space
+// exploration tool. Before buying hardware, predict how many FPGAs a
+// workload can use: sweep the accelerator count, print predicted epoch time,
+// throughput, and the stage that bottlenecks each configuration — then
+// validate one point against the (overhead-charging) pipeline simulator,
+// reproducing the Fig. 8 predicted-vs-actual comparison.
+//
+//	go run ./examples/perfprediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/pipesim"
+)
+
+func bottleneckName(st perfmodel.StageTimes) string {
+	names := map[string]float64{
+		"CPU-sampler": st.SampCPU, "accel-sampler": st.SampAccel,
+		"feature-loader": st.Load, "PCIe-transfer": st.Trans,
+		"CPU-trainer": st.TrainCPU, "accel-trainer": st.TrainAcc + st.Sync,
+	}
+	worstN, worstV := "", math.Inf(-1)
+	for n, v := range names {
+		if v > worstV {
+			worstN, worstV = n, v
+		}
+	}
+	return worstN
+}
+
+func main() {
+	work := perfmodel.DefaultWorkload(datagen.OGBNPapers100M, gnn.SAGE)
+	fmt.Println("ogbn-papers100M / GraphSAGE on 2xEPYC7763 + n x U250")
+	fmt.Printf("%-6s %-14s %-10s %-15s\n", "FPGAs", "epoch (pred)", "MTEPS", "bottleneck")
+	for _, n := range []int{1, 2, 4, 8, 12, 16} {
+		plat := hw.CPUFPGAPlatform().WithAccelCount(n)
+		m, err := perfmodel.New(plat, work)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := m.InitialAssignment(true)
+		fmt.Printf("%-6d %-14s %-10.0f %-15s\n", n,
+			fmt.Sprintf("%.3fs", m.EpochTime(a)), m.ThroughputMTEPS(a),
+			bottleneckName(m.Stages(a)))
+	}
+
+	fmt.Println("\nvalidating the 4-FPGA point against the pipeline simulator (Fig. 8):")
+	plat := hw.CPUFPGAPlatform()
+	m, err := perfmodel.New(plat, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted := m.EpochTime(m.InitialAssignment(true))
+	res, err := pipesim.Run(pipesim.Config{
+		Model: m, Mode: pipesim.Mode{Hybrid: true, TFP: true}, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	errPct := math.Abs(res.EpochSec-predicted) / res.EpochSec * 100
+	fmt.Printf("predicted %.3fs, simulated %.3fs, model error %.1f%% (paper reports 5-14%%)\n",
+		predicted, res.EpochSec, errPct)
+}

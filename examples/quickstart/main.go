@@ -1,0 +1,65 @@
+// Quickstart: train a 2-layer GraphSAGE model with the HyScale-GNN hybrid
+// runtime on a small synthetic graph, and watch the loss fall.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// 1. A synthetic power-law graph with planted class structure:
+	//    5,000 vertices, 40,000 edges, 32-dim features, 8 classes.
+	spec := datagen.Spec{
+		Name: "quickstart", NumVertices: 5000, NumEdges: 40000,
+		FeatDims: []int{32, 32, 8}, TrainNodes: 2500,
+	}
+	ds, err := datagen.Materialize(spec, 0.5, tensor.NewRNG(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The hybrid runtime on the paper's CPU-FPGA platform model:
+	//    dual EPYC 7763 + 4 simulated Alveo U250s, with every optimization
+	//    on (hybrid training, two-stage prefetching, DRM).
+	engine, err := core.NewEngine(core.Config{
+		Plat:      hw.CPUFPGAPlatform(),
+		Data:      ds,
+		Model:     gnn.Config{Kind: gnn.SAGE, Dims: spec.FeatDims},
+		LR:        0.3,
+		BatchSize: 128,
+		Fanouts:   []int{10, 5},
+		Hybrid:    true,
+		TFP:       true,
+		DRM:       true,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train.
+	fmt.Println("epoch  loss    accuracy  virtual-epoch  MTEPS")
+	for ep := 0; ep < 6; ep++ {
+		st, err := engine.RunEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-7.4f %-9.3f %-14s %.1f\n",
+			st.Epoch, st.Loss, st.Accuracy, fmt.Sprintf("%.4fs", st.VirtualSec), st.MTEPS)
+	}
+
+	// 4. The synchronous-SGD invariant: every trainer (CPU + 4 accelerators)
+	//    holds identical weights.
+	fmt.Printf("\nreplica divergence: %g (0 = lock-step)\n", engine.ReplicasInSync())
+	a := engine.Assignment()
+	fmt.Printf("task mapping after DRM: CPU=%d targets, accels=%v\n", a.CPUBatch, a.AccelBatch)
+}

@@ -1,0 +1,277 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func sgConfig() ScatterGatherConfig {
+	return ScatterGatherConfig{NumPEs: 4, FeatWidth: 8, BytesPerCycle: 64, FetchLatency: 20}
+}
+
+func TestScatterGatherConfigValidate(t *testing.T) {
+	if (ScatterGatherConfig{}).Validate() == nil {
+		t.Fatal("zero config should fail")
+	}
+	if sgConfig().Validate() != nil {
+		t.Fatal("valid config rejected")
+	}
+}
+
+// Functional correctness: the kernel must produce the same aggregation as a
+// direct reference loop regardless of edge order.
+func TestScatterGatherFunctional(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	nSrc, nDst := 20, 6
+	features := tensor.New(nSrc, 8)
+	tensor.NormalInit(features, 1, rng)
+	var edges []graph.Edge
+	var weights []float32
+	for i := 0; i < 50; i++ {
+		edges = append(edges, graph.Edge{Src: int32(rng.Intn(nSrc)), Dst: int32(rng.Intn(nDst))})
+		weights = append(weights, float32(rng.Float64()))
+	}
+	ref := tensor.New(nDst, 8)
+	for i, e := range edges {
+		for j := 0; j < 8; j++ {
+			ref.Data[int(e.Dst)*8+j] += weights[i] * features.At(int(e.Src), j)
+		}
+	}
+	for _, sorted := range []bool{false, true} {
+		in := edges
+		w := weights
+		if sorted {
+			// Sort edges and weights together.
+			type ew struct {
+				e graph.Edge
+				w float32
+			}
+			pairs := make([]ew, len(edges))
+			for i := range edges {
+				pairs[i] = ew{edges[i], weights[i]}
+			}
+			sortedEdges := graph.SortEdgesBySource(edges)
+			// Rebuild weights to match sorted order via stable multimap.
+			used := make([]bool, len(pairs))
+			w = make([]float32, len(sortedEdges))
+			for i, se := range sortedEdges {
+				for k, p := range pairs {
+					if !used[k] && p.e == se {
+						w[i] = p.w
+						used[k] = true
+						break
+					}
+				}
+			}
+			in = sortedEdges
+		}
+		out := tensor.New(nDst, 8)
+		res, err := RunScatterGather(sgConfig(), in, w, features, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllClose(ref, 1e-4) {
+			t.Fatalf("sorted=%v: kernel output differs from reference by %g", sorted, out.MaxAbsDiff(ref))
+		}
+		if res.EdgesProcessed != 50 {
+			t.Fatalf("EdgesProcessed = %d", res.EdgesProcessed)
+		}
+	}
+}
+
+// The paper's traffic claim (§IV-C): with source-sorted edges the kernel
+// fetches each distinct source once — traffic O(|V0|) — while unsorted
+// random order costs up to one fetch per edge — traffic O(|E1|).
+func TestScatterGatherTraffic(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	nSrc := 10
+	features := tensor.New(nSrc, 8)
+	var edges []graph.Edge
+	for i := 0; i < 400; i++ {
+		edges = append(edges, graph.Edge{Src: int32(rng.Intn(nSrc)), Dst: int32(rng.Intn(16))})
+	}
+	out := tensor.New(16, 8)
+	unsorted, err := RunScatterGather(sgConfig(), edges, nil, features, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Zero()
+	sorted, err := RunScatterGather(sgConfig(), graph.SortEdgesBySource(edges), nil, features, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.FeatureFetches != nSrc {
+		t.Fatalf("sorted fetches = %d, want %d distinct sources", sorted.FeatureFetches, nSrc)
+	}
+	if unsorted.FeatureFetches <= 2*sorted.FeatureFetches {
+		t.Fatalf("unsorted fetches %d should far exceed sorted %d", unsorted.FeatureFetches, sorted.FeatureFetches)
+	}
+	if sorted.TrafficBytes != int64(nSrc)*8*4 {
+		t.Fatalf("sorted traffic = %d bytes", sorted.TrafficBytes)
+	}
+	if sorted.ReuseFactor != 40 {
+		t.Fatalf("reuse factor = %v, want 400/10", sorted.ReuseFactor)
+	}
+	if sorted.Cycles >= unsorted.Cycles {
+		t.Fatal("sorting should reduce cycles")
+	}
+}
+
+func TestScatterGatherValidation(t *testing.T) {
+	features := tensor.New(4, 8)
+	out := tensor.New(4, 8)
+	if _, err := RunScatterGather(sgConfig(), []graph.Edge{{Src: 0, Dst: 0}}, []float32{1, 2}, features, out); err == nil {
+		t.Fatal("expected weight-length error")
+	}
+	bad := tensor.New(4, 3)
+	if _, err := RunScatterGather(sgConfig(), nil, nil, bad, out); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestScatterGatherEmpty(t *testing.T) {
+	features := tensor.New(4, 8)
+	out := tensor.New(4, 8)
+	res, err := RunScatterGather(sgConfig(), nil, nil, features, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeatureFetches != 0 || res.Cycles != 0 || res.ReuseFactor != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+// Property: sorted fetches = distinct sources; unsorted fetches = source runs.
+func TestScatterGatherFetchProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		nSrc := 1 + rng.Intn(20)
+		edges := make([]graph.Edge, rng.Intn(100))
+		distinct := map[int32]bool{}
+		for i := range edges {
+			edges[i] = graph.Edge{Src: int32(rng.Intn(nSrc)), Dst: int32(rng.Intn(8))}
+			distinct[edges[i].Src] = true
+		}
+		features := tensor.New(nSrc, 8)
+		out := tensor.New(8, 8)
+		u, err := RunScatterGather(sgConfig(), edges, nil, features, out)
+		if err != nil {
+			return false
+		}
+		out.Zero()
+		s, err := RunScatterGather(sgConfig(), graph.SortEdgesBySource(edges), nil, features, out)
+		if err != nil {
+			return false
+		}
+		return u.FeatureFetches == graph.CountSourceRuns(edges) &&
+			(len(edges) == 0 || s.FeatureFetches == len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystolicFunctionalAndTiming(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	in := tensor.New(16, 32)
+	tensor.NormalInit(in, 1, rng)
+	w := tensor.New(32, 8)
+	tensor.NormalInit(w, 1, rng)
+	bias := tensor.New(1, 8)
+	bias.Fill(0.5)
+	out := tensor.New(16, 8)
+	cfg := SystolicConfig{NumMACs: 64, FreqGHz: 0.3, FillCost: 10}
+	res, err := RunSystolic(cfg, out, in, w, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.New(16, 8)
+	tensor.MatMul(ref, in, w)
+	tensor.AddBias(ref, bias)
+	if !out.AllClose(ref, 1e-5) {
+		t.Fatal("systolic output differs from MatMul reference")
+	}
+	wantMACs := int64(16 * 32 * 8)
+	if res.MACs != wantMACs {
+		t.Fatalf("MACs = %d, want %d", res.MACs, wantMACs)
+	}
+	wantCycles := wantMACs/64 + 10
+	if res.Cycles != wantCycles {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, wantCycles)
+	}
+	if math.Abs(res.Sec-float64(wantCycles)/0.3e9) > 1e-12 {
+		t.Fatalf("Sec = %v", res.Sec)
+	}
+}
+
+func TestSystolicValidation(t *testing.T) {
+	out := tensor.New(1, 1)
+	if _, err := RunSystolic(SystolicConfig{}, out, out, out, nil); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestUpdateTimeSecMatchesEq12(t *testing.T) {
+	// Eq. 12: |V|·f_in·f_out / (N·freq).
+	got := UpdateTimeSec(1024, 128, 256, 2048, 0.3)
+	want := 1024.0 * 128 * 256 / (2048 * 0.3e9)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("UpdateTimeSec = %v, want %v", got, want)
+	}
+}
+
+// Table IV: the paper's (8, 2048) design point on the U250 reports
+// 72% LUT, 90% DSP, 48% URAM, 40% BRAM.
+func TestTable4Utilization(t *testing.T) {
+	u, err := EstimateUtilization(KernelParallelism{N: 8, M: 2048}, U250Resources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s utilization = %.1f%%, paper %.0f%%", name, got*100, want*100)
+		}
+	}
+	check("LUT", u.LUT, 0.72, 0.02)
+	check("DSP", u.DSP, 0.90, 0.02)
+	check("URAM", u.URAM, 0.48, 0.02)
+	check("BRAM", u.BRAM, 0.40, 0.02)
+	if !u.Fits() {
+		t.Fatal("published design point must fit")
+	}
+}
+
+func TestEstimateUtilizationValidation(t *testing.T) {
+	if _, err := EstimateUtilization(KernelParallelism{N: 0, M: 2048}, U250Resources()); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestMaxParallelism(t *testing.T) {
+	p, u, err := MaxParallelism(8, U250Resources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M < 2048 {
+		t.Fatalf("MaxParallelism found m=%d; the paper's 2048 must fit", p.M)
+	}
+	if !u.Fits() {
+		t.Fatal("returned design does not fit")
+	}
+	// Doubling must not fit (otherwise the search stopped early).
+	u2, _ := EstimateUtilization(KernelParallelism{N: 8, M: p.M * 2}, U250Resources())
+	if u2.Fits() {
+		t.Fatal("search stopped before the resource wall")
+	}
+}
+
+func TestMaxParallelismFailsOnTinyFabric(t *testing.T) {
+	tiny := FPGAResources{LUTs: 10, DSPs: 10, BRAMs: 10, URAMs: 10}
+	if _, _, err := MaxParallelism(8, tiny); err == nil {
+		t.Fatal("expected no-fit error")
+	}
+}

@@ -1,0 +1,237 @@
+// Package baselines models the systems the paper compares against:
+//
+//   - the multi-GPU PyTorch-Geometric baseline of Fig. 10 (§VI-E1): four GPU
+//     trainers behind a synchronous Python dataloader, no hybrid training,
+//     no stage overlap;
+//   - PaGraph (Lin et al., SoCC'20): single-node multi-GPU DGL with a static
+//     GPU-side feature cache — misses cross PCIe (Table V/VI);
+//   - P3 (Gandhi & Iyer, OSDI'21): 4-node intra-layer model parallelism with
+//     push-pull pipelining — activations cross the network every layer;
+//   - DistDGLv2 (Zheng et al., KDD'22): 8-node hybrid CPU/GPU training over
+//     a METIS-partitioned graph — cut edges fetch features remotely.
+//
+// Each simulator charges the architectural costs that make the respective
+// system slow on large graphs (the mechanisms §VI-E2 discusses), using the
+// same device models and analytic primitives as the rest of the repository.
+// Constants documented inline are calibrated against the magnitudes of
+// paper Tables V–VII; EXPERIMENTS.md records paper-vs-measured.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/pipesim"
+)
+
+// PyGMultiGPU simulates the paper's multi-GPU baseline on the given
+// platform: accelerator-only training behind a synchronous PyG DataLoader.
+// The DataLoader's worker processes do prefetch (sampling + collation
+// overlap with training), but the H2D copy and the training step itself run
+// synchronously in the main loop — so one iteration is
+// max(sample+collate, transfer+train) + all-reduce. No hybrid CPU training,
+// no DRM, no native loader.
+func PyGMultiGPU(plat hw.Platform, work perfmodel.Workload, _ uint64) (float64, error) {
+	m, err := perfmodel.New(plat, work)
+	if err != nil {
+		return 0, err
+	}
+	m.Profile = perfmodel.PyGBaselineProfile()
+	nGPU := len(plat.Accels)
+	if nGPU == 0 {
+		return 0, fmt.Errorf("baselines: PyG baseline needs accelerators")
+	}
+	batch := work.BatchSize
+	s := work.SizesFor(batch)
+	samp := m.SampleTimeCPUEdges(work.EdgesPerBatch(batch*nGPU), plat.TotalCPUCores()/2)
+	load := m.LoadTimeForRows(s.VL[0]*float64(nGPU), plat.TotalCPUCores()/2)
+	trans := m.TransferTimeFor(s)
+	gpu := plat.Accels[0]
+	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
+	sync := m.SyncTime()
+	iter := math.Max(samp+load, trans+train) + sync
+	iters := math.Ceil(float64(work.Spec.TrainNodes) / float64(batch*nGPU))
+	return iters * iter, nil
+}
+
+// zipfS is the skew of the vertex-access popularity distribution assumed by
+// the cache model (power-law graphs concentrate accesses on hubs).
+const zipfS = 0.5
+
+// cacheHitRate returns the expected hit rate of a static cache holding the
+// hottest `cached` of `total` feature rows under a Zipf(s) access law:
+// hit = H_s(k)/H_s(N) ≈ (k/N)^(1−s) for s < 1.
+func cacheHitRate(cached, total float64) float64 {
+	if cached >= total {
+		return 1
+	}
+	if cached <= 0 {
+		return 0
+	}
+	return math.Pow(cached/total, 1-zipfS)
+}
+
+// PaGraph simulates PaGraph's epoch: 8 V100 trainers on one node, DGL
+// sampling on the host, and a per-GPU static feature cache. Hits read from
+// device memory; misses cross PCIe. No hybrid CPU training.
+func PaGraph(work perfmodel.Workload) (float64, error) {
+	plat := hw.PaGraphNode()
+	m, err := perfmodel.New(plat, work)
+	if err != nil {
+		return 0, err
+	}
+	m.Profile = perfmodel.SoftwareProfile{LoaderGBs: 5, SampleCostFactor: 1.5}
+	nGPU := len(plat.Accels)
+	batch := work.BatchSize
+	s := work.SizesFor(batch)
+	f0 := float64(work.Spec.FeatDims[0])
+
+	// Cache capacity: V100 16 GB minus ~6 GB working set (model, activations,
+	// CUDA context), per PaGraph's own sizing.
+	const cacheBytesPerGPU = 10e9
+	cacheRows := cacheBytesPerGPU / (f0 * 4)
+	hit := cacheHitRate(cacheRows, float64(work.Spec.NumVertices))
+
+	// Per-iteration stages (per GPU, all GPUs in parallel; sync at the end).
+	samp := m.SampleTimeCPUEdges(work.EdgesPerBatch(batch*nGPU), plat.TotalCPUCores()/2)
+	missRows := s.VL[0] * (1 - hit)
+	load := m.LoadTimeForRows(missRows, plat.TotalCPUCores()/2)
+	trans := plat.PCIe.TransferSec(missRows * f0 * 4)
+	gpu := plat.Accels[0]
+	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
+	sync := m.SyncTime() * math.Log2(float64(nGPU)) // ring/tree all-reduce depth
+
+	// PaGraph overlaps loading with training (its "computation-aware
+	// caching" pipeline) but not sampling.
+	iter := samp + math.Max(load+trans, train) + sync
+	iters := math.Ceil(float64(work.Spec.TrainNodes) / float64(batch*nGPU))
+	return iters * iter, nil
+}
+
+// p3Nodes is P3's cluster size (Table V).
+const p3Nodes = 4
+
+// P3 simulates P3's epoch: intra-layer model parallelism for the first
+// layer (features sharded across machines; partial activations are
+// all-to-all'ed every iteration), data parallelism above, pipelined
+// push-pull. Graph and features never cross PCIe in bulk, but activations
+// cross the network.
+func P3(work perfmodel.Workload) (float64, error) {
+	plat := hw.P3Node()
+	m, err := perfmodel.New(plat, work)
+	if err != nil {
+		return 0, err
+	}
+	m.Profile = perfmodel.SoftwareProfile{LoaderGBs: 5, SampleCostFactor: 1.5}
+	nGPUTotal := len(plat.Accels) * p3Nodes
+	batch := work.BatchSize
+	s := work.SizesFor(batch)
+	net := hw.Ethernet100G()
+
+	// Layer-1 activations (hidden dim) all-to-all: every GPU's |V1| rows
+	// cross the network (minus the 1/n local shard).
+	hidden := float64(work.Spec.FeatDims[1])
+	actBytes := s.VL[1] * hidden * 4 * (1 - 1/float64(p3Nodes))
+	comm := net.TransferSec(actBytes) * 2 // push (forward) + pull (backward)
+
+	gpu := plat.Accels[0]
+	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
+	samp := m.SampleTimeCPUEdges(work.EdgesPerBatch(batch*len(plat.Accels)), plat.TotalCPUCores())
+	sync := m.SyncTime() * math.Log2(float64(nGPUTotal))
+
+	// P3's pipelining overlaps communication with computation of other
+	// micro-batches; the slower of the two dominates each pipeline slot, but
+	// the push-pull schedule adds bubbles (each layer's halves must meet) and
+	// 2016-era GPUs on a 4-node cluster straggle. The bubble factor and the
+	// fixed per-iteration coordination cost are calibrated against Table VI
+	// (P3 epoch ≈ 1.1 s on products, ≈ 2.6 s on papers100M).
+	const (
+		p3BubbleFactor    = 2.0
+		p3CoordinationSec = 0.030
+	)
+	iter := (samp+math.Max(comm, train)+sync)*p3BubbleFactor + p3CoordinationSec
+	iters := math.Ceil(float64(work.Spec.TrainNodes) / float64(batch*nGPUTotal))
+	return iters * iter, nil
+}
+
+// distDGLNodes is DistDGLv2's cluster size (Table V).
+const distDGLNodes = 8
+
+// edgeCutFraction is the fraction of sampled neighbors living on a remote
+// partition after METIS partitioning of a power-law graph.
+const edgeCutFraction = 0.25
+
+// DistDGLv2 simulates DistDGLv2's epoch: 8 nodes × 8 T4, graph partitioned
+// across nodes, hybrid CPU/GPU training with a static task mapping. Remote
+// neighbors fetch features over the network.
+func DistDGLv2(work perfmodel.Workload) (float64, error) {
+	plat := hw.DistDGLNode()
+	m, err := perfmodel.New(plat, work)
+	if err != nil {
+		return 0, err
+	}
+	m.Profile = perfmodel.SoftwareProfile{LoaderGBs: 5, SampleCostFactor: 1.5}
+	nGPU := len(plat.Accels)
+	batch := work.BatchSize
+	s := work.SizesFor(batch)
+	f0 := float64(work.Spec.FeatDims[0])
+	net := hw.Ethernet100G()
+
+	samp := m.SampleTimeCPUEdges(work.EdgesPerBatch(batch*nGPU), plat.TotalCPUCores()/2)
+	remoteRows := s.VL[0] * edgeCutFraction
+	localRows := s.VL[0] - remoteRows
+	load := m.LoadTimeForRows(localRows, plat.TotalCPUCores()/2)
+	remote := net.TransferSec(remoteRows*f0*4) * float64(nGPU) / 2 // NIC shared by the node's trainers
+	trans := plat.PCIe.TransferSec(s.VL[0] * f0 * 4)
+	gpu := plat.Accels[0]
+	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
+	sync := m.SyncTime() * math.Log2(float64(nGPU*distDGLNodes))
+
+	// DistDGLv2 pipelines sampling/loading against training (its async
+	// pipeline), but the static mapping leaves the slowest side exposed.
+	iter := math.Max(samp+load+remote, trans+train) + sync
+	iters := math.Ceil(float64(work.Spec.TrainNodes) / float64(batch*nGPU*distDGLNodes))
+	return iters * iter, nil
+}
+
+// HyScale runs the paper's system (pipesim with all optimizations) on the
+// given platform and returns the epoch time. profile selects the software
+// stack (TorchProfile for the CPU-GPU design, NativeProfile for CPU-FPGA).
+func HyScale(plat hw.Platform, work perfmodel.Workload, profile perfmodel.SoftwareProfile,
+	ctrl pipesim.Controller, seed uint64) (float64, error) {
+	m, err := perfmodel.New(plat, work)
+	if err != nil {
+		return 0, err
+	}
+	m.Profile = profile
+	res, err := pipesim.Run(pipesim.Config{
+		Model: m,
+		Mode:  pipesim.Mode{Hybrid: true, TFP: true, DRM: ctrl != nil},
+		Ctrl:  ctrl,
+		Seed:  seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.EpochSec, nil
+}
+
+// ComparatorWorkload builds the workload matching a comparator's published
+// configuration (Table V): its sample sizes and hidden dimension.
+func ComparatorWorkload(spec datagen.Spec, kind gnn.Kind, fanouts []int, hidden int) (perfmodel.Workload, error) {
+	if hidden <= 0 || len(fanouts) == 0 {
+		return perfmodel.Workload{}, fmt.Errorf("baselines: bad comparator config")
+	}
+	dims := make([]int, len(fanouts)+1)
+	dims[0] = spec.FeatDims[0]
+	for i := 1; i < len(fanouts); i++ {
+		dims[i] = hidden
+	}
+	dims[len(fanouts)] = spec.NumClasses()
+	spec.FeatDims = dims
+	return perfmodel.Workload{Spec: spec, Model: kind, BatchSize: 1024, Fanouts: fanouts}, nil
+}

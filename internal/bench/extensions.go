@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/drm"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/pipesim"
+)
+
+// ExtQuant evaluates the paper's §VIII extension — int8 feature
+// quantization on the PCIe link — on the CPU-FPGA platform. The paper
+// identifies the Data Transfer stage as the one bottleneck its DRM cannot
+// fix ("HyScale-GNN did not provide an effective solution if the
+// performance is bottlenecked by the Data Transfer stage"); quantization
+// attacks exactly that stage, so the gain should concentrate on the
+// transfer-bound workloads (wide-feature MAG240M) and vanish elsewhere.
+func ExtQuant(seed uint64) (*Table, error) {
+	t := &Table{
+		Title:  "Extension: int8 PCIe feature quantization (CPU-FPGA, all optimizations on)",
+		Header: []string{"Dataset", "Model", "fp32 epoch(s)", "int8 epoch(s)", "Speedup"},
+	}
+	plat := hw.CPUFPGAPlatform()
+	for _, spec := range datagen.PaperSpecs() {
+		for _, kind := range bothModels {
+			run := func(bytesPerFeat float64) (float64, error) {
+				w := perfmodel.DefaultWorkload(spec, kind)
+				w.TransferBytesPerFeat = bytesPerFeat
+				m, err := perfmodel.New(plat, w)
+				if err != nil {
+					return 0, err
+				}
+				eng := drm.New(plat.TotalCPUCores())
+				res, err := pipesim.Run(pipesim.Config{
+					Model: m, Mode: pipesim.Mode{Hybrid: true, TFP: true, DRM: true},
+					Ctrl: eng, Seed: seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.EpochSec, nil
+			}
+			fp32, err := run(4)
+			if err != nil {
+				return nil, err
+			}
+			int8t, err := run(1)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(Txt(spec.Name), Txt(kind.String()),
+				Num(fp32, "%.2f"), Num(int8t, "%.2f"), Num(fp32/int8t, "%.2fx"))
+		}
+	}
+	return t, nil
+}
+
+// Throughput reports the paper's primary metric (Eq. 5, MTEPS — million
+// traversed edges per second) for the full system on both heterogeneous
+// platforms across all datasets and models.
+func Throughput(seed uint64) (*Table, error) {
+	t := &Table{
+		Title:  "Throughput (Eq. 5): million traversed edges per second",
+		Header: []string{"Dataset", "Model", "CPU+GPU MTEPS", "CPU+FPGA MTEPS"},
+	}
+	for _, spec := range datagen.PaperSpecs() {
+		for _, kind := range bothModels {
+			row := []Cell{Txt(spec.Name), Txt(kind.String())}
+			for _, pc := range []struct {
+				plat    hw.Platform
+				profile perfmodel.SoftwareProfile
+			}{
+				{hw.CPUGPUPlatform(), perfmodel.TorchProfile()},
+				{hw.CPUFPGAPlatform(), perfmodel.NativeProfile()},
+			} {
+				m, err := perfmodel.New(pc.plat, perfmodel.DefaultWorkload(spec, kind))
+				if err != nil {
+					return nil, err
+				}
+				m.Profile = pc.profile
+				eng := drm.New(pc.plat.TotalCPUCores())
+				res, err := pipesim.Run(pipesim.Config{
+					Model: m, Mode: pipesim.Mode{Hybrid: true, TFP: true, DRM: true},
+					Ctrl: eng, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, Num(res.MTEPS, "%.0f"))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// ExtCluster evaluates the multi-node extension (§VIII future work):
+// strong scaling of HyScale CPU-FPGA nodes over 100 GbE with a 25% METIS
+// edge cut, on papers100M.
+func ExtCluster() (*Table, error) {
+	t := &Table{
+		Title:  "Extension: multi-node strong scaling (CPU-FPGA nodes, 100GbE, 25% edge cut)",
+		Header: []string{"Dataset", "Nodes", "Epoch(s)", "Speedup", "Efficiency", "Net share"},
+	}
+	for _, spec := range []datagen.Spec{datagen.OGBNPapers100M, datagen.MAG240MHomo} {
+		cfg := cluster.Config{
+			Nodes:       1,
+			Plat:        hw.CPUFPGAPlatform(),
+			Work:        perfmodel.DefaultWorkload(spec, gnn.SAGE),
+			Net:         hw.Ethernet100G(),
+			CutFraction: 0.25,
+		}
+		counts := []int{1, 2, 4, 8}
+		res, err := cluster.Scaling(cfg, counts)
+		if err != nil {
+			return nil, err
+		}
+		base := res[0].EpochSec
+		for i, b := range res {
+			netShare := (b.RemoteFetch + b.GlobalSync) / b.IterTime
+			speedup := base / b.EpochSec
+			t.AddRow(Txt(spec.Name), Num(float64(counts[i]), "%.0f"),
+				Num(b.EpochSec, "%.3f"), Num(speedup, "%.2fx"),
+				Num(speedup/float64(counts[i])*100, "%.0f%%"),
+				Num(netShare*100, "%.0f%%"))
+		}
+	}
+	return t, nil
+}

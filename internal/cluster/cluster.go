@@ -1,0 +1,144 @@
+// Package cluster extends HyScale-GNN to a multi-node platform — the
+// paper's §VIII future work ("define a more general protocol for training
+// GNN models on distributed and heterogeneous architectures"). The paper
+// stops at one node because its protocol has no inter-node story; this
+// package adds the two costs that story must pay, with the same analytic
+// style as the rest of the repository:
+//
+//  1. remote feature fetches — the graph is partitioned across nodes
+//     (METIS-style edge cut), so a fraction of every mini-batch's input
+//     vertices live on other nodes and their features cross the network;
+//  2. global gradient synchronization — the per-node all-reduce of paper
+//     Eq. 13 gains a ring all-reduce across nodes.
+//
+// The model reproduces the trade-off the paper's §VII uses to justify
+// single-node training: with realistic edge cuts, inter-node communication
+// erodes most of the added compute, which is DistDGL's observed behaviour.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+)
+
+// Config describes a homogeneous cluster of HyScale nodes.
+type Config struct {
+	Nodes int
+	Plat  hw.Platform        // per-node platform
+	Work  perfmodel.Workload // global workload
+	Net   hw.Link            // inter-node link (per-node NIC)
+	// CutFraction is the fraction of a mini-batch's input vertices whose
+	// features live on a remote partition. 0 on a single node; 0.2–0.4 is
+	// typical for METIS partitions of power-law graphs.
+	CutFraction float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: %d nodes", c.Nodes)
+	}
+	if c.CutFraction < 0 || c.CutFraction > 1 {
+		return fmt.Errorf("cluster: cut fraction %v outside [0,1]", c.CutFraction)
+	}
+	if c.Nodes > 1 && c.Net.EffGBs() <= 0 {
+		return fmt.Errorf("cluster: multi-node needs a network link")
+	}
+	return c.Plat.Validate()
+}
+
+// Breakdown reports the per-iteration cost components.
+type Breakdown struct {
+	LocalIter   float64 // single-node pipeline bottleneck (Eq. 6)
+	RemoteFetch float64 // cut-edge feature traffic over the NIC
+	GlobalSync  float64 // ring all-reduce across nodes
+	IterTime    float64
+	Iterations  int
+	EpochSec    float64
+}
+
+// EpochTime evaluates one epoch on the cluster.
+func EpochTime(cfg Config) (*Breakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := perfmodel.New(cfg.Plat, cfg.Work)
+	if err != nil {
+		return nil, err
+	}
+	assign := m.InitialAssignment(true)
+	local := m.IterTime(assign)
+
+	// Remote features: cut × (1 − 1/nodes) of every node's per-iteration
+	// input rows cross its NIC (both requests in and responses out share it;
+	// charge the response volume).
+	var remote float64
+	if cfg.Nodes > 1 {
+		var rows float64
+		if assign.CPUBatch > 0 {
+			rows += m.Work.SizesFor(assign.CPUBatch).VL[0]
+		}
+		for _, b := range assign.AccelBatch {
+			if b > 0 {
+				rows += m.Work.SizesFor(b).VL[0]
+			}
+		}
+		frac := cfg.CutFraction * (1 - 1/float64(cfg.Nodes))
+		bytes := rows * frac * float64(cfg.Work.Spec.FeatDims[0]) * 4
+		remote = cfg.Net.TransferSec(bytes)
+	}
+
+	// Global sync: ring all-reduce moves 2×(n−1)/n of the model per node.
+	var gsync float64
+	if cfg.Nodes > 1 {
+		modelBytes := modelBytes(cfg.Work)
+		gsync = cfg.Net.TransferSec(2 * modelBytes * float64(cfg.Nodes-1) / float64(cfg.Nodes))
+	}
+
+	iter := math.Max(local, remote) + gsync
+	totalBatch := float64(assign.TotalBatch() * cfg.Nodes)
+	iters := int(math.Ceil(float64(cfg.Work.Spec.TrainNodes) / totalBatch))
+	return &Breakdown{
+		LocalIter: local, RemoteFetch: remote, GlobalSync: gsync,
+		IterTime: iter, Iterations: iters,
+		EpochSec: float64(iters) * iter,
+	}, nil
+}
+
+// modelBytes is the weight footprint of the workload's model (Eq. 13
+// numerator).
+func modelBytes(w perfmodel.Workload) float64 {
+	dims := w.Spec.FeatDims
+	var params float64
+	for l := 0; l < w.Spec.Layers(); l++ {
+		fin := float64(dims[l])
+		if w.Model == gnn.SAGE { // concat doubles the update input
+			fin *= 2
+		}
+		params += fin*float64(dims[l+1]) + float64(dims[l+1])
+	}
+	return params * 4
+}
+
+// Scaling sweeps node counts and returns epoch times, for the
+// strong-scaling study of the extension.
+func Scaling(cfg Config, counts []int) ([]*Breakdown, error) {
+	out := make([]*Breakdown, 0, len(counts))
+	for _, n := range counts {
+		c := cfg
+		c.Nodes = n
+		if n == 1 {
+			c.CutFraction = 0
+		}
+		b, err := EpochTime(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// TrainOptions drives a multi-epoch run with the conveniences a production
+// training loop needs on top of Engine.RunEpoch: step learning-rate decay
+// and loss-based early stopping.
+type TrainOptions struct {
+	Epochs int
+	// LRDecay multiplies every trainer's learning rate after each
+	// DecayEvery epochs (0 disables; typical: 0.5 every 10).
+	LRDecay    float32
+	DecayEvery int
+	// Patience stops training after this many consecutive epochs without
+	// the loss improving by at least MinDelta (0 disables early stopping).
+	Patience int
+	MinDelta float64
+}
+
+// Validate checks the options.
+func (o TrainOptions) Validate() error {
+	if o.Epochs <= 0 {
+		return fmt.Errorf("core: Epochs %d", o.Epochs)
+	}
+	if o.LRDecay < 0 || o.LRDecay > 1 {
+		return fmt.Errorf("core: LRDecay %v outside [0,1]", o.LRDecay)
+	}
+	if o.LRDecay > 0 && o.DecayEvery <= 0 {
+		return fmt.Errorf("core: LRDecay set but DecayEvery %d", o.DecayEvery)
+	}
+	if o.Patience < 0 || o.MinDelta < 0 {
+		return fmt.Errorf("core: negative Patience/MinDelta")
+	}
+	return nil
+}
+
+// Train runs up to Epochs epochs, applying decay and early stopping, and
+// returns the per-epoch statistics actually executed.
+func (e *Engine) Train(opts TrainOptions) ([]*EpochStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	var history []*EpochStats
+	bestLoss := 0.0
+	stale := 0
+	for ep := 0; ep < opts.Epochs; ep++ {
+		st, err := e.RunEpoch()
+		if err != nil {
+			return history, err
+		}
+		history = append(history, st)
+
+		if opts.Patience > 0 {
+			if ep == 0 || st.Loss < bestLoss-opts.MinDelta {
+				bestLoss = st.Loss
+				stale = 0
+			} else {
+				stale++
+				if stale >= opts.Patience {
+					break
+				}
+			}
+		}
+		if opts.LRDecay > 0 && (ep+1)%opts.DecayEvery == 0 {
+			for _, opt := range e.opts {
+				opt.LR *= opts.LRDecay
+			}
+		}
+	}
+	return history, nil
+}
+
+// LearningRate reports the current learning rate (all trainers share it).
+func (e *Engine) LearningRate() float32 { return e.opts[0].LR }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainOptionsValidate(t *testing.T) {
+	cases := []TrainOptions{
+		{Epochs: 0},
+		{Epochs: 5, LRDecay: 1.5, DecayEvery: 2},
+		{Epochs: 5, LRDecay: 0.5}, // DecayEvery missing
+		{Epochs: 5, Patience: -1},
+	}
+	for i, o := range cases {
+		if o.Validate() == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	if (TrainOptions{Epochs: 3}).Validate() != nil {
+		t.Fatal("minimal options rejected")
+	}
+}
+
+func TestTrainRunsAllEpochs(t *testing.T) {
+	e, err := NewEngine(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := e.Train(TrainOptions{Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 4 {
+		t.Fatalf("ran %d epochs, want 4", len(hist))
+	}
+	if hist[3].Loss >= hist[0].Loss {
+		t.Fatalf("no learning across epochs: %.4f -> %.4f", hist[0].Loss, hist[3].Loss)
+	}
+}
+
+func TestTrainLRDecay(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.LR = 0.4
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(TrainOptions{Epochs: 4, LRDecay: 0.5, DecayEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Two decays over 4 epochs: 0.4 → 0.2 → 0.1.
+	if got := e.LearningRate(); math.Abs(float64(got)-0.1) > 1e-6 {
+		t.Fatalf("LR after decay = %v, want 0.1", got)
+	}
+}
+
+func TestTrainEarlyStopping(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.LR = 1e-6 // effectively frozen: loss cannot improve
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := e.Train(TrainOptions{Epochs: 20, Patience: 2, MinDelta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) >= 20 {
+		t.Fatalf("early stopping never fired (%d epochs)", len(hist))
+	}
+	if len(hist) < 3 { // first epoch + patience misses
+		t.Fatalf("stopped too early: %d epochs", len(hist))
+	}
+}

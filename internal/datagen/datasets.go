@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Spec describes a dataset's shape: everything the paper's performance model
+// (§V) needs, independent of whether the actual graph is materialised.
+// FeatDims is {f0, f1, ..., fL}: f0 = input feature length, fL = #classes.
+type Spec struct {
+	Name        string
+	NumVertices int64
+	NumEdges    int64
+	FeatDims    []int
+	// TrainNodes is the size of the training split (OGB standard splits for
+	// the paper datasets); it determines iterations per epoch.
+	TrainNodes int64
+}
+
+// FeatureBytes returns the size of the full input feature matrix in bytes
+// assuming float32 features (Sfeat = 4, as in the paper).
+func (s Spec) FeatureBytes() int64 {
+	return s.NumVertices * int64(s.FeatDims[0]) * 4
+}
+
+// NumClasses returns the output dimension (last layer width).
+func (s Spec) NumClasses() int { return s.FeatDims[len(s.FeatDims)-1] }
+
+// Layers returns the number of GNN layers L implied by FeatDims.
+func (s Spec) Layers() int { return len(s.FeatDims) - 1 }
+
+// The paper's Table III, verbatim. These full-scale specs drive the analytic
+// timing models; they are never materialised in memory.
+var (
+	// OGBNProducts is the medium-scale dataset (61.8M edges, f=(100,256,47)).
+	OGBNProducts = Spec{Name: "ogbn-products", NumVertices: 2_449_029, NumEdges: 61_859_140, FeatDims: []int{100, 256, 47}, TrainNodes: 196_615}
+	// OGBNPapers100M is the first large-scale dataset (1.6B edges, f=(128,256,172)).
+	OGBNPapers100M = Spec{Name: "ogbn-papers100M", NumVertices: 111_059_956, NumEdges: 1_615_685_872, FeatDims: []int{128, 256, 172}, TrainNodes: 1_207_179}
+	// MAG240MHomo is the homogeneous MAG240M (1.3B edges, f=(756,256,153)).
+	MAG240MHomo = Spec{Name: "MAG240M(homo)", NumVertices: 121_751_666, NumEdges: 1_297_748_926, FeatDims: []int{756, 256, 153}, TrainNodes: 1_112_392}
+)
+
+// PaperSpecs lists the three evaluation datasets in Table III order.
+func PaperSpecs() []Spec { return []Spec{OGBNProducts, OGBNPapers100M, MAG240MHomo} }
+
+// SpecByName looks up a paper spec by name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range PaperSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// Scaled returns a spec with vertex and edge counts divided by factor
+// (feature dims unchanged — GNN numerics depend on dims, not graph size).
+// The name records the scaling for reports.
+func (s Spec) Scaled(factor int64) Spec {
+	if factor <= 0 {
+		panic("datagen: non-positive scale factor")
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s/%d", s.Name, factor)
+	out.NumVertices = s.NumVertices / factor
+	if out.NumVertices < 64 {
+		out.NumVertices = 64
+	}
+	out.NumEdges = s.NumEdges / factor
+	if out.NumEdges < out.NumVertices {
+		out.NumEdges = out.NumVertices
+	}
+	out.TrainNodes = s.TrainNodes / factor
+	if out.TrainNodes < 1 {
+		out.TrainNodes = 1
+	}
+	if out.TrainNodes > out.NumVertices {
+		out.TrainNodes = out.NumVertices
+	}
+	return out
+}
+
+// Dataset is a materialised dataset: graph + features + labels + train split.
+type Dataset struct {
+	Spec     Spec
+	Graph    *graph.Graph
+	Features *tensor.Matrix // NumVertices × f0
+	Labels   []int32        // NumVertices, in [0, NumClasses)
+	TrainIdx []int32        // vertices used as mini-batch targets
+}
+
+// Materialize generates a concrete dataset for spec using RMAT topology and
+// a planted-cluster feature/label model: each vertex is assigned a class and
+// its features are the class centroid plus Gaussian noise, so GNN training
+// has real signal to learn (loss decreases, accuracy rises above chance).
+// trainFraction of vertices (at least 1) become training targets.
+func Materialize(spec Spec, trainFraction float64, rng *tensor.RNG) (*Dataset, error) {
+	if spec.NumVertices > 10_000_000 {
+		return nil, fmt.Errorf("datagen: refusing to materialise %s (%d vertices); use Scaled", spec.Name, spec.NumVertices)
+	}
+	n := int(spec.NumVertices)
+	g, err := GenerateRMAT(n, int(spec.NumEdges), DefaultRMAT, rng)
+	if err != nil {
+		return nil, err
+	}
+	g, err = EnsureMinInDegree(g, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	numClasses := spec.NumClasses()
+	f0 := spec.FeatDims[0]
+
+	centroids := tensor.New(numClasses, f0)
+	tensor.NormalInit(centroids, 1.0, rng)
+	labels := make([]int32, n)
+	features := tensor.New(n, f0)
+	for v := 0; v < n; v++ {
+		cls := rng.Intn(numClasses)
+		labels[v] = int32(cls)
+		row := features.Row(v)
+		cen := centroids.Row(cls)
+		for j := range row {
+			row[j] = cen[j] + float32(rng.NormFloat64()*0.5)
+		}
+	}
+
+	if trainFraction <= 0 || trainFraction > 1 {
+		return nil, fmt.Errorf("datagen: trainFraction %v outside (0,1]", trainFraction)
+	}
+	numTrain := int(float64(n) * trainFraction)
+	if numTrain < 1 {
+		numTrain = 1
+	}
+	perm := rng.Perm(n)
+	trainIdx := make([]int32, numTrain)
+	copy(trainIdx, perm[:numTrain])
+
+	return &Dataset{Spec: spec, Graph: g, Features: features, Labels: labels, TrainIdx: trainIdx}, nil
+}

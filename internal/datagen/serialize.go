@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Dataset serialization: a stable little-endian binary layout so generated
+// datasets can be produced once and shared across runs/machines (RMAT
+// generation of multi-million-edge graphs is the slowest part of a cold
+// start). Layout: magic, version, spec, CSR arrays, features, labels, split.
+const (
+	datasetMagic   = 0x48594453 // "HYDS"
+	datasetVersion = 1
+)
+
+// Save writes the dataset.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	hdr := []uint64{datasetMagic, datasetVersion,
+		uint64(d.Spec.NumVertices), uint64(d.Spec.NumEdges),
+		uint64(d.Spec.TrainNodes), uint64(len(d.Spec.FeatDims)),
+		uint64(len(d.Spec.Name))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, le, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(d.Spec.Name); err != nil {
+		return err
+	}
+	for _, f := range d.Spec.FeatDims {
+		if err := binary.Write(bw, le, uint32(f)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, uint64(d.Graph.NumVertices)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, d.Graph.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint64(len(d.Graph.ColIdx))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, d.Graph.ColIdx); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, d.Features.Data); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, d.Labels); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint64(len(d.TrainIdx))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, d.TrainIdx); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadDataset reads a dataset written by Save.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, version, nv, ne, train, nDims, nameLen uint64
+	for _, p := range []*uint64{&magic, &version, &nv, &ne, &train, &nDims, &nameLen} {
+		if err := binary.Read(br, le, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != datasetMagic {
+		return nil, fmt.Errorf("datagen: not a dataset file (magic %#x)", magic)
+	}
+	if version != datasetVersion {
+		return nil, fmt.Errorf("datagen: dataset version %d, want %d", version, datasetVersion)
+	}
+	if nv > 1<<34 || nDims > 64 || nameLen > 4096 {
+		return nil, fmt.Errorf("datagen: implausible header (V=%d dims=%d name=%d)", nv, nDims, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	dims := make([]int, nDims)
+	for i := range dims {
+		var f uint32
+		if err := binary.Read(br, le, &f); err != nil {
+			return nil, err
+		}
+		dims[i] = int(f)
+	}
+	spec := Spec{Name: string(name), NumVertices: int64(nv), NumEdges: int64(ne),
+		TrainNodes: int64(train), FeatDims: dims}
+
+	var gv uint64
+	if err := binary.Read(br, le, &gv); err != nil {
+		return nil, err
+	}
+	g := &graph.Graph{NumVertices: int(gv), RowPtr: make([]int64, gv+1)}
+	if err := binary.Read(br, le, g.RowPtr); err != nil {
+		return nil, err
+	}
+	var nCol uint64
+	if err := binary.Read(br, le, &nCol); err != nil {
+		return nil, err
+	}
+	g.ColIdx = make([]int32, nCol)
+	if err := binary.Read(br, le, g.ColIdx); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: corrupt graph in dataset: %w", err)
+	}
+	features := tensor.New(int(gv), dims[0])
+	if err := binary.Read(br, le, features.Data); err != nil {
+		return nil, err
+	}
+	labels := make([]int32, gv)
+	if err := binary.Read(br, le, labels); err != nil {
+		return nil, err
+	}
+	var nTrain uint64
+	if err := binary.Read(br, le, &nTrain); err != nil {
+		return nil, err
+	}
+	if nTrain > gv {
+		return nil, fmt.Errorf("datagen: %d train indices for %d vertices", nTrain, gv)
+	}
+	trainIdx := make([]int32, nTrain)
+	if err := binary.Read(br, le, trainIdx); err != nil {
+		return nil, err
+	}
+	return &Dataset{Spec: spec, Graph: g, Features: features, Labels: labels, TrainIdx: trainIdx}, nil
+}

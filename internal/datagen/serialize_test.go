@@ -1,0 +1,86 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	spec := Spec{Name: "roundtrip", NumVertices: 300, NumEdges: 1800,
+		FeatDims: []int{12, 8, 4}, TrainNodes: 120}
+	ds, err := Materialize(spec, 0.4, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != "roundtrip" || got.Spec.NumVertices != 300 {
+		t.Fatalf("spec lost: %+v", got.Spec)
+	}
+	if len(got.Spec.FeatDims) != 3 || got.Spec.FeatDims[2] != 4 {
+		t.Fatalf("dims lost: %v", got.Spec.FeatDims)
+	}
+	if got.Graph.NumVertices != ds.Graph.NumVertices || got.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("graph size changed")
+	}
+	for v := 0; v < got.Graph.NumVertices; v++ {
+		a, b := ds.Graph.Neighbors(int32(v)), got.Graph.Neighbors(int32(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d neighbors changed", v)
+			}
+		}
+	}
+	if !got.Features.Equal(ds.Features) {
+		t.Fatal("features changed")
+	}
+	for i := range ds.Labels {
+		if got.Labels[i] != ds.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	if len(got.TrainIdx) != len(ds.TrainIdx) {
+		t.Fatal("train split changed")
+	}
+	for i := range ds.TrainIdx {
+		if got.TrainIdx[i] != ds.TrainIdx[i] {
+			t.Fatal("train indices changed")
+		}
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := LoadDataset(bytes.NewReader(bytes.Repeat([]byte{7}, 128))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := LoadDataset(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+}
+
+func TestLoadDatasetRejectsTruncated(t *testing.T) {
+	spec := Spec{Name: "t", NumVertices: 100, NumEdges: 400, FeatDims: []int{4, 3}, TrainNodes: 10}
+	ds, err := Materialize(spec, 0.2, tensor.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := LoadDataset(bytes.NewReader(full[:len(full)*2/3])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,323 @@
+// Package drm implements the paper's Dynamic Resource Management engine
+// (§IV-A, Algorithm 1): a bottleneck-guided optimizer that fine-tunes the
+// task mapping every iteration. Two moves exist:
+//
+//   - balance_work: shift mini-batch targets between a CPU task and an
+//     accelerator task (trainer↔trainer or sampler↔sampler), keeping the
+//     global mini-batch size constant;
+//   - balance_thread: re-assign CPU threads from the fastest CPU task to a
+//     bottlenecked CPU task, keeping the total thread count constant.
+//
+// The engine consumes the stage times measured by the runtime (or the
+// pipeline simulator) and returns the assignment for the next iteration. It
+// deliberately has no model of *why* a stage is slow — exactly like the
+// paper's engine, it reacts only to measured times, which is what lets it
+// absorb model error (framework overheads, contention) that the design-time
+// mapping cannot see.
+package drm
+
+import (
+	"repro/internal/perfmodel"
+)
+
+// Stage identifies one of Algorithm 1's five candidate bottlenecks.
+type Stage int
+
+const (
+	SampCPU   Stage = iota // T_SC
+	SampAccel              // T_SA
+	Load                   // T_Load
+	TrainCPU               // T_TC
+	Accel                  // T_Accel = max(T_Tran, T_TA), bundled per Algorithm 1 line 1
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case SampCPU:
+		return "T_SC"
+	case SampAccel:
+		return "T_SA"
+	case Load:
+		return "T_Load"
+	case TrainCPU:
+		return "T_TC"
+	case Accel:
+		return "T_Accel"
+	default:
+		return "?"
+	}
+}
+
+// Engine is the DRM controller. It implements pipesim.Controller.
+type Engine struct {
+	// Cores is the CPU thread budget balance_thread conserves.
+	Cores int
+	// Gain is the fraction of the measured imbalance corrected per step
+	// (1 = jump straight to the estimated optimum; smaller damps oscillation).
+	Gain float64
+	// MinBatch is the smallest per-device mini-batch share (keeps every
+	// trainer participating so measurements stay available).
+	MinBatch int
+	// MinThreads is the floor for any CPU task's thread count.
+	MinThreads int
+	// ThreadStep is how many threads one balance_thread move transfers.
+	ThreadStep int
+	// Tolerance suppresses adjustment when the bottleneck exceeds the
+	// fastest stage by less than this relative margin (hysteresis).
+	Tolerance float64
+	// FusedPrefetch tells the engine that Feature Loading and Data Transfer
+	// run as one fused pipeline stage (the pre-TFP configuration, §IV-B).
+	// The engine then optimizes the fused time Load+Trans as a unit and
+	// treats T_Accel as the trainer time alone. With TFP enabled (the
+	// paper's full system) leave this false: Algorithm 1's bundling
+	// T_Accel = max(T_Tran, T_TA) applies.
+	FusedPrefetch bool
+
+	// Moves counts applied adjustments, by kind, for introspection.
+	MovesWork   int
+	MovesThread int
+}
+
+// New returns an engine with the defaults used throughout the experiments.
+func New(cores int) *Engine {
+	return &Engine{
+		Cores: cores, Gain: 0.5, MinBatch: 32, MinThreads: 4,
+		ThreadStep: 4, Tolerance: 0.08,
+	}
+}
+
+// times extracts Algorithm 1's five inputs from the measured stage times.
+func times(st perfmodel.StageTimes) map[Stage]float64 {
+	tAccel := st.Trans
+	if st.TrainAcc > tAccel {
+		tAccel = st.TrainAcc
+	}
+	return map[Stage]float64{
+		SampCPU:   st.SampCPU,
+		SampAccel: st.SampAccel,
+		Load:      st.Load,
+		TrainCPU:  st.TrainCPU,
+		Accel:     tAccel,
+	}
+}
+
+// rank returns the *present* (non-zero) stages ordered slowest-first, and
+// the fastest present CPU task. Absent stages (e.g. T_SA when accelerators
+// do not sample) never appear as bottleneck or fastest.
+func rank(ts map[Stage]float64) (order []Stage, fastestCPU Stage) {
+	for _, s := range []Stage{SampCPU, SampAccel, Load, TrainCPU, Accel} {
+		if ts[s] > 0 {
+			order = append(order, s)
+		}
+	}
+	// Insertion sort by time descending (≤5 elements).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && ts[order[j]] > ts[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	fastestCPU = SampCPU
+	best := -1.0
+	for _, s := range []Stage{SampCPU, Load, TrainCPU} {
+		t := ts[s]
+		if t <= 0 {
+			continue
+		}
+		if best < 0 || t < best {
+			best = t
+			fastestCPU = s
+		}
+	}
+	return order, fastestCPU
+}
+
+// Adjust implements Algorithm 1 for one iteration.
+func (e *Engine) Adjust(_ int, st perfmodel.StageTimes, a perfmodel.Assignment) perfmodel.Assignment {
+	ts := times(st)
+	if e.FusedPrefetch {
+		ts[Load] = st.Load + st.Trans
+		ts[Accel] = st.TrainAcc
+	}
+	order, fastestCPU := rank(ts)
+	if len(order) < 2 {
+		return a
+	}
+	bottleneck := order[0]
+	fastest := order[len(order)-1]
+	second := order[len(order)-2]
+
+	// Hysteresis: when the bottleneck barely exceeds the runner-up, any move
+	// just swaps the two and the pipeline oscillates; the bottleneck time —
+	// which is what the pipeline clock follows — cannot drop below the
+	// runner-up anyway.
+	if ts[second] > 0 && ts[bottleneck] < ts[second]*(1+e.Tolerance) {
+		return a
+	}
+
+	out := a.Clone()
+	switch bottleneck {
+	case SampAccel: // line 11: shift sampling work back toward the CPU
+		e.balanceSampling(&out, ts, -1)
+	case Accel: // line 13: shift training work toward the CPU
+		e.balanceTraining(&out, ts, -1, true)
+	case Load: // line 15
+		if e.FusedPrefetch && st.Trans > st.Load {
+			// The fused prefetch stage is transfer-dominated: shedding
+			// accelerator work shrinks both halves; more loader threads
+			// would not help the PCIe half.
+			e.balanceTraining(&out, ts, -1, true)
+		} else {
+			e.balanceThread(&out, fastestCPU, Load)
+		}
+	case SampCPU: // lines 17–24
+		if fastest == SampAccel || (fastest == Accel && second == SampAccel) {
+			e.balanceSampling(&out, ts, +1)
+		} else {
+			e.balanceThread(&out, fastestCPU, SampCPU)
+		}
+	case TrainCPU: // lines 25–32
+		if fastest == Accel || (fastest == SampAccel && second == Accel) {
+			e.balanceTraining(&out, ts, +1, true)
+		} else {
+			e.balanceThread(&out, fastestCPU, TrainCPU)
+		}
+	}
+	return out
+}
+
+// balanceTraining is balance_work over trainer mini-batch shares.
+// dir = +1 moves work CPU→accelerators, −1 moves accelerators→CPU.
+//
+// The step size targets the equilibrium of the two sides that the moved
+// batch actually scales: the CPU-side time (T_TC, proportional to the CPU
+// share) against the accelerator-proportional side — whichever is larger of
+// the loading and accelerator stages, both of which scale with the
+// accelerator share. Solving  t_cpu − Δ·c_cpu = t_acc + Δ·c_acc  for Δ lands
+// at the crossover instead of hopping over it, so the engine settles rather
+// than oscillates.
+func (e *Engine) balanceTraining(a *perfmodel.Assignment, ts map[Stage]float64, dir int, proportional bool) {
+	nAcc := len(a.AccelBatch)
+	if nAcc == 0 {
+		return
+	}
+	accTotal := 0
+	for _, b := range a.AccelBatch {
+		accTotal += b
+	}
+	total := a.CPUBatch + accTotal
+	cpuSide := ts[TrainCPU]
+	accSide := ts[Accel]
+	if ts[Load] > accSide {
+		accSide = ts[Load]
+	}
+	var move int
+	if proportional && cpuSide > 0 && accSide > 0 && a.CPUBatch > 0 && accTotal > 0 {
+		cCPU := cpuSide / float64(a.CPUBatch)
+		cAcc := accSide / float64(accTotal)
+		move = int(e.Gain * (accSide - cpuSide) / (cCPU + cAcc) * float64(-dir))
+		if move < 0 {
+			move = -move
+		}
+	} else {
+		move = total / 20
+	}
+	if move == 0 {
+		return
+	}
+	if dir > 0 { // CPU → accelerators
+		if a.CPUBatch-move < e.MinBatch {
+			move = a.CPUBatch - e.MinBatch
+		}
+		if move <= 0 {
+			return
+		}
+		a.CPUBatch -= move
+		distribute(a.AccelBatch, move)
+	} else { // accelerators → CPU
+		if accTotal-move < e.MinBatch*nAcc {
+			move = accTotal - e.MinBatch*nAcc
+		}
+		if move <= 0 {
+			return
+		}
+		a.CPUBatch += move
+		distribute(a.AccelBatch, -move)
+	}
+	e.MovesWork++
+}
+
+// balanceSampling is balance_work over the sampling split.
+// dir = +1 moves sampling work CPU→accelerators, −1 the reverse.
+func (e *Engine) balanceSampling(a *perfmodel.Assignment, ts map[Stage]float64, dir int) {
+	step := 0.1 * e.Gain * 2
+	frac := a.AccelSampleFrac + float64(dir)*step
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	if frac == a.AccelSampleFrac {
+		return
+	}
+	a.AccelSampleFrac = frac
+	e.MovesWork++
+}
+
+// balanceThread moves ThreadStep CPU threads from one task to another.
+func (e *Engine) balanceThread(a *perfmodel.Assignment, from, to Stage) {
+	if from == to {
+		return
+	}
+	get := func(s Stage) *int {
+		switch s {
+		case SampCPU:
+			return &a.SampThreads
+		case Load:
+			return &a.LoadThreads
+		case TrainCPU:
+			return &a.TrainThreads
+		default:
+			return nil
+		}
+	}
+	src, dst := get(from), get(to)
+	if src == nil || dst == nil {
+		return
+	}
+	step := e.ThreadStep
+	if *src-step < e.MinThreads {
+		step = *src - e.MinThreads
+	}
+	if step <= 0 {
+		return
+	}
+	*src -= step
+	*dst += step
+	e.MovesThread++
+}
+
+// distribute adds delta targets evenly across the accelerator shares
+// (delta may be negative).
+func distribute(shares []int, delta int) {
+	n := len(shares)
+	if n == 0 {
+		return
+	}
+	each := delta / n
+	rem := delta - each*n
+	for i := range shares {
+		shares[i] += each
+		if rem > 0 {
+			shares[i]++
+			rem--
+		} else if rem < 0 {
+			shares[i]--
+			rem++
+		}
+		if shares[i] < 0 {
+			shares[i] = 0
+		}
+	}
+}

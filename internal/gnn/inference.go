@@ -1,0 +1,129 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// InferFullGraph computes embeddings for every vertex with exact (unsampled)
+// layer-wise propagation over the whole graph — the standard way trained
+// sampling-based models are evaluated (GraphSAGE §3.1). Memory is
+// O(|V|·maxDim); intended for the scaled datasets of this repository.
+// Returns the final-layer logits (|V| × fL).
+func (m *Model) InferFullGraph(g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix, error) {
+	if g.NumVertices != x.Rows {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d vertices", x.Rows, g.NumVertices)
+	}
+	if x.Cols != m.Cfg.Dims[0] {
+		return nil, fmt.Errorf("gnn: features %d-dim, model expects %d", x.Cols, m.Cfg.Dims[0])
+	}
+	L := m.Cfg.Layers()
+	h := x
+	n := g.NumVertices
+	degrees := m.Cfg.Degrees
+	for l := 0; l < L; l++ {
+		fin := m.Cfg.Dims[l]
+		agg := tensor.New(n, fin)
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(int32(v))
+			out := agg.Row(v)
+			switch m.Cfg.Kind {
+			case GCN:
+				if degrees != nil {
+					nv := 1 / sqrt32(float32(degrees[v])+1)
+					self := h.Row(v)
+					for j := range out {
+						out[j] = nv * nv * self[j]
+					}
+					for _, u := range nbrs {
+						w := nv / sqrt32(float32(degrees[u])+1)
+						row := h.Row(int(u))
+						for j := range out {
+							out[j] += w * row[j]
+						}
+					}
+				} else {
+					inv := float32(1) / float32(len(nbrs)+1)
+					self := h.Row(v)
+					for j := range out {
+						out[j] = inv * self[j]
+					}
+					for _, u := range nbrs {
+						row := h.Row(int(u))
+						for j := range out {
+							out[j] += inv * row[j]
+						}
+					}
+				}
+			case SAGE:
+				if len(nbrs) > 0 {
+					inv := float32(1) / float32(len(nbrs))
+					for _, u := range nbrs {
+						row := h.Row(int(u))
+						for j := range out {
+							out[j] += inv * row[j]
+						}
+					}
+				}
+			case GIN:
+				selfCoef := float32(1 + m.Cfg.GINEps)
+				self := h.Row(v)
+				for j := range out {
+					out[j] = selfCoef * self[j]
+				}
+				for _, u := range nbrs {
+					row := h.Row(int(u))
+					for j := range out {
+						out[j] += row[j]
+					}
+				}
+			}
+		}
+		var dense *tensor.Matrix
+		if m.Cfg.Kind == SAGE {
+			dense = tensor.New(n, 2*fin)
+			tensor.ConcatCols(dense, h, agg)
+		} else {
+			dense = agg
+		}
+		z := tensor.New(n, m.Cfg.Dims[l+1])
+		tensor.MatMul(z, dense, m.Params.Weights[l])
+		tensor.AddBias(z, m.Params.Biases[l])
+		if l < L-1 {
+			tensor.ReLU(z)
+		}
+		h = z
+	}
+	return h, nil
+}
+
+// Evaluate runs full-graph inference and returns the accuracy over the
+// given vertex set.
+func (m *Model) Evaluate(g *graph.Graph, x *tensor.Matrix, labels []int32, idx []int32) (float64, error) {
+	logits, err := m.InferFullGraph(g, x)
+	if err != nil {
+		return 0, err
+	}
+	if len(idx) == 0 {
+		return 0, fmt.Errorf("gnn: empty evaluation set")
+	}
+	correct := 0
+	for _, v := range idx {
+		row := logits.Row(int(v))
+		argmax := 0
+		for j, val := range row {
+			if val > row[argmax] {
+				argmax = j
+			}
+		}
+		if int32(argmax) == labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(idx)), nil
+}
+
+func sqrt32(v float32) float32 { return float32(math.Sqrt(float64(v))) }

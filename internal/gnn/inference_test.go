@@ -1,0 +1,133 @@
+package gnn
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+func TestInferFullGraphShapesAndValidation(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	spec := datagen.Spec{Name: "inf", NumVertices: 200, NumEdges: 1200, FeatDims: []int{8, 6, 3}}
+	ds, err := datagen.Materialize(spec, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(Config{Kind: GCN, Dims: spec.FeatDims}, rng)
+	logits, err := m.InferFullGraph(ds.Graph, ds.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Rows != 200 || logits.Cols != 3 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+	bad := tensor.New(100, 8)
+	if _, err := m.InferFullGraph(ds.Graph, bad); err == nil {
+		t.Fatal("expected row-count error")
+	}
+	bad2 := tensor.New(200, 5)
+	if _, err := m.InferFullGraph(ds.Graph, bad2); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+// Full-graph inference must agree with the mini-batch forward pass when the
+// sampled fanout covers every neighbor (sampling becomes exact).
+func TestInferenceMatchesFullFanoutSampling(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE, GIN} {
+		rng := tensor.NewRNG(2)
+		spec := datagen.Spec{Name: "exact", NumVertices: 120, NumEdges: 480, FeatDims: []int{6, 5, 3}}
+		ds, err := datagen.Materialize(spec, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewModel(Config{Kind: kind, Dims: spec.FeatDims, GINEps: 0.2}, rng)
+		full, err := m.InferFullGraph(ds.Graph, ds.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fanout 10000 >> max degree: the sampler takes all neighbors.
+		s, _ := sampler.New(ds.Graph, []int{10000, 10000}, ds.Labels)
+		targets := []int32{0, 5, 50, 119}
+		mb, err := s.Sample(targets, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(len(mb.InputNodes()), 6)
+		tensor.GatherRows(x, ds.Features, mb.InputNodes())
+		st, err := m.Forward(mb, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range targets {
+			for j := 0; j < 3; j++ {
+				a := st.Logits.At(i, j)
+				b := full.At(int(v), j)
+				if d := a - b; d > 1e-3 || d < -1e-3 {
+					t.Fatalf("%v: vertex %d logit %d: sampled %v vs full %v", kind, v, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+// End-to-end: train with sampling, evaluate with full-graph inference — the
+// standard GraphSAGE protocol. Held-out accuracy must beat chance clearly.
+func TestEvaluateAfterTraining(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	spec := datagen.Spec{Name: "eval", NumVertices: 600, NumEdges: 4200, FeatDims: []int{16, 16, 4}}
+	ds, err := datagen.Materialize(spec, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(Config{Kind: SAGE, Dims: spec.FeatDims}, rng)
+	s, _ := sampler.New(ds.Graph, []int{8, 8}, ds.Labels)
+	batcher, _ := sampler.NewBatcher(ds.TrainIdx, 64, rng)
+	const lr = 0.4
+	for step := 0; step < 120; step++ {
+		mb, err := s.Sample(batcher.Next(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(len(mb.InputNodes()), 16)
+		tensor.GatherRows(x, ds.Features, mb.InputNodes())
+		grads, _, _, err := m.TrainStep(mb, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range m.Params.Weights {
+			tensor.Axpy(m.Params.Weights[l], -lr, grads.Weights[l])
+			tensor.Axpy(m.Params.Biases[l], -lr, grads.Biases[l])
+		}
+	}
+	// Held-out vertices: everything not in the train split.
+	inTrain := map[int32]bool{}
+	for _, v := range ds.TrainIdx {
+		inTrain[v] = true
+	}
+	var heldOut []int32
+	for v := int32(0); int(v) < ds.Graph.NumVertices; v++ {
+		if !inTrain[v] {
+			heldOut = append(heldOut, v)
+		}
+	}
+	acc, err := m.Evaluate(ds.Graph, ds.Features, ds.Labels, heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 { // 4 classes → chance 0.25
+		t.Fatalf("held-out accuracy %.3f too low", acc)
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	spec := datagen.Spec{Name: "e", NumVertices: 100, NumEdges: 300, FeatDims: []int{4, 3}}
+	ds, _ := datagen.Materialize(spec, 1.0, rng)
+	m, _ := NewModel(Config{Kind: GCN, Dims: spec.FeatDims}, rng)
+	if _, err := m.Evaluate(ds.Graph, ds.Features, ds.Labels, nil); err == nil {
+		t.Fatal("expected error for empty evaluation set")
+	}
+}

@@ -1,0 +1,251 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// ForwardState retains per-layer activations needed by the backward pass.
+type ForwardState struct {
+	mb     *sampler.MiniBatch
+	inputs []*tensor.Matrix // H over Blocks[l].Src, layer input
+	aggs   []*tensor.Matrix // aggregated (GCN) / concatenated (SAGE) input to the dense update
+	masks  []*tensor.Matrix // ReLU masks (nil for the output layer)
+	Logits *tensor.Matrix   // |targets| × fL
+}
+
+// edgeWeights returns, for block b, the coefficient of each edge and the
+// self-loop coefficient of each destination under the model's aggregator.
+func (m *Model) edgeWeights(b *sampler.Block) (edgeW []float32, selfW []float32) {
+	return EdgeWeights(m.Cfg, b)
+}
+
+// EdgeWeights computes the aggregation coefficients a model configuration
+// assigns to a block's edges and self loops. Exported so alternative
+// execution backends (the accelerator kernel simulator) use the exact same
+// coefficients as the reference path.
+func EdgeWeights(cfg Config, b *sampler.Block) (edgeW []float32, selfW []float32) {
+	m := &Model{Cfg: cfg}
+	nd := len(b.Dst)
+	edgeW = make([]float32, b.NumEdges())
+	selfW = make([]float32, nd)
+	switch m.Cfg.Kind {
+	case GCN:
+		if m.Cfg.Degrees != nil {
+			// Paper Eq. 3: 1/√(D(v)·D(u)), smoothed with +1 self loops.
+			norm := func(v int32) float32 {
+				return float32(1 / math.Sqrt(float64(m.Cfg.Degrees[v])+1))
+			}
+			for d := 0; d < nd; d++ {
+				nd := norm(b.Dst[d])
+				selfW[d] = nd * nd
+				for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+					edgeW[e] = nd * norm(b.Src[b.Col[e]])
+				}
+			}
+			return edgeW, selfW
+		}
+		// Mean over {v} ∪ N(v): linear, degree-robust fallback.
+		for d := 0; d < nd; d++ {
+			inv := float32(1) / float32(b.RowPtr[d+1]-b.RowPtr[d]+1)
+			selfW[d] = inv
+			for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+				edgeW[e] = inv
+			}
+		}
+	case SAGE:
+		// Mean over neighbors only; the self feature is concatenated
+		// separately, so selfW stays 0.
+		for d := 0; d < nd; d++ {
+			deg := b.RowPtr[d+1] - b.RowPtr[d]
+			if deg == 0 {
+				continue
+			}
+			inv := float32(1) / float32(deg)
+			for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+				edgeW[e] = inv
+			}
+		}
+	case GIN:
+		// Sum aggregation with emphasised self loop: (1+ε)·h_v + Σ h_u.
+		selfCoef := float32(1 + m.Cfg.GINEps)
+		for d := 0; d < nd; d++ {
+			selfW[d] = selfCoef
+			for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+				edgeW[e] = 1
+			}
+		}
+	}
+	return edgeW, selfW
+}
+
+// aggregate computes the weighted neighbor sum for a block:
+// out[d] = selfW[d]·h[d] + Σ_e edgeW[e]·h[Col[e]]. out is |Dst| × h.Cols.
+func aggregate(out, h *tensor.Matrix, b *sampler.Block, edgeW, selfW []float32) {
+	cols := h.Cols
+	for d := 0; d < len(b.Dst); d++ {
+		orow := out.Row(d)
+		if w := selfW[d]; w != 0 {
+			hrow := h.Row(d) // Dst is a prefix of Src: local index d is the self row
+			for j := range orow {
+				orow[j] = w * hrow[j]
+			}
+		} else {
+			for j := range orow {
+				orow[j] = 0
+			}
+		}
+		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+			w := edgeW[e]
+			hrow := h.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
+			for j := range orow {
+				orow[j] += w * hrow[j]
+			}
+		}
+	}
+}
+
+// aggregateBackward scatters dAgg back to the sources with the same
+// coefficients (the transpose of aggregate). dh must be zeroed by the caller.
+func aggregateBackward(dh, dAgg *tensor.Matrix, b *sampler.Block, edgeW, selfW []float32) {
+	cols := dh.Cols
+	for d := 0; d < len(b.Dst); d++ {
+		grow := dAgg.Row(d)
+		if w := selfW[d]; w != 0 {
+			drow := dh.Row(d)
+			for j := range grow {
+				drow[j] += w * grow[j]
+			}
+		}
+		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+			w := edgeW[e]
+			drow := dh.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
+			for j := range grow {
+				drow[j] += w * grow[j]
+			}
+		}
+	}
+}
+
+// Forward runs the L-layer forward pass. x holds the gathered input features
+// for mb.InputNodes() (|V0| × f0) and is not mutated. The returned state
+// feeds Backward; state.Logits holds the output-layer pre-softmax scores.
+func (m *Model) Forward(mb *sampler.MiniBatch, x *tensor.Matrix) (*ForwardState, error) {
+	L := m.Cfg.Layers()
+	if len(mb.Blocks) != L {
+		return nil, fmt.Errorf("gnn: mini-batch has %d blocks, model has %d layers", len(mb.Blocks), L)
+	}
+	if x.Rows != len(mb.InputNodes()) || x.Cols != m.Cfg.Dims[0] {
+		return nil, fmt.Errorf("gnn: feature matrix %dx%d, want %dx%d",
+			x.Rows, x.Cols, len(mb.InputNodes()), m.Cfg.Dims[0])
+	}
+	st := &ForwardState{
+		mb:     mb,
+		inputs: make([]*tensor.Matrix, L),
+		aggs:   make([]*tensor.Matrix, L),
+		masks:  make([]*tensor.Matrix, L),
+	}
+	h := x
+	for l := 0; l < L; l++ {
+		b := mb.Blocks[l]
+		st.inputs[l] = h
+		edgeW, selfW := m.edgeWeights(b)
+		nd := len(b.Dst)
+		fin := m.Cfg.Dims[l]
+
+		var dense *tensor.Matrix // input to the dense update: nd × inDim(l)
+		if m.Cfg.Kind == SAGE {
+			mean := tensor.New(nd, fin)
+			aggregate(mean, h, b, edgeW, selfW)
+			self := tensor.New(nd, fin)
+			tensor.GatherRows(self, h, selfIdx(nd))
+			dense = tensor.New(nd, 2*fin)
+			tensor.ConcatCols(dense, self, mean)
+		} else {
+			dense = tensor.New(nd, fin)
+			aggregate(dense, h, b, edgeW, selfW)
+		}
+		st.aggs[l] = dense
+
+		z := tensor.New(nd, m.Cfg.Dims[l+1])
+		tensor.MatMul(z, dense, m.Params.Weights[l])
+		tensor.AddBias(z, m.Params.Biases[l])
+		if l < L-1 {
+			st.masks[l] = tensor.ReLU(z)
+		}
+		h = z
+	}
+	st.Logits = h
+	return st, nil
+}
+
+// selfIdx returns [0, 1, ..., n-1] as int32 (the Dst-prefix rows of Src).
+func selfIdx(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+// Backward propagates dLogits (gradient of the loss w.r.t. the logits)
+// through all layers and returns parameter gradients. It mirrors forward
+// propagation in reverse, as the paper describes (§II-B).
+func (m *Model) Backward(st *ForwardState, dLogits *tensor.Matrix) (*Gradients, error) {
+	L := m.Cfg.Layers()
+	if dLogits.Rows != st.Logits.Rows || dLogits.Cols != st.Logits.Cols {
+		return nil, fmt.Errorf("gnn: dLogits %dx%d, want %dx%d",
+			dLogits.Rows, dLogits.Cols, st.Logits.Rows, st.Logits.Cols)
+	}
+	grads := NewGradients(m.Params)
+	dz := dLogits.Clone()
+	for l := L - 1; l >= 0; l-- {
+		b := st.mb.Blocks[l]
+		if st.masks[l] != nil {
+			tensor.ReLUBackward(dz, st.masks[l])
+		}
+		// Dense update backward: z = dense·W + bias.
+		tensor.TMatMul(grads.Weights[l], st.aggs[l], dz)
+		tensor.BiasGrad(grads.Biases[l], dz)
+		dDense := tensor.New(dz.Rows, m.Cfg.inDim(l))
+		tensor.MatMulT(dDense, dz, m.Params.Weights[l])
+
+		// Aggregation backward into the layer input.
+		fin := m.Cfg.Dims[l]
+		dh := tensor.New(len(b.Src), fin)
+		edgeW, selfW := m.edgeWeights(b)
+		if m.Cfg.Kind == SAGE {
+			dSelf := tensor.New(dz.Rows, fin)
+			dMean := tensor.New(dz.Rows, fin)
+			tensor.SplitCols(dSelf, dMean, dDense)
+			tensor.ScatterAddRows(dh, dSelf, selfIdx(dz.Rows))
+			aggregateBackward(dh, dMean, b, edgeW, selfW)
+		} else {
+			aggregateBackward(dh, dDense, b, edgeW, selfW)
+		}
+		dz = dh
+	}
+	return grads, nil
+}
+
+// TrainStep runs forward, loss, and backward for one mini-batch, returning
+// the gradients (not yet applied), the mean loss, and the training accuracy.
+func (m *Model) TrainStep(mb *sampler.MiniBatch, x *tensor.Matrix) (*Gradients, float64, float64, error) {
+	st, err := m.Forward(mb, x)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(mb.Labels) != st.Logits.Rows {
+		return nil, 0, 0, fmt.Errorf("gnn: %d labels for %d targets", len(mb.Labels), st.Logits.Rows)
+	}
+	dLogits := tensor.New(st.Logits.Rows, st.Logits.Cols)
+	loss, correct := tensor.SoftmaxCrossEntropy(dLogits, st.Logits, mb.Labels)
+	grads, err := m.Backward(st, dLogits)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return grads, loss, float64(correct) / float64(len(mb.Labels)), nil
+}

@@ -1,0 +1,117 @@
+package gnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint format: a small custom binary layout (magic, version, config,
+// then each tensor as dims + raw little-endian float32s). Deliberately not
+// gob: the format is stable across Go versions, inspectable, and mirrors
+// what a C++/HLS consumer of the weights (the paper's FPGA toolchain) could
+// read directly.
+const (
+	checkpointMagic   = 0x48594742 // "HYGB"
+	checkpointVersion = 1
+)
+
+// Save serialises the model configuration and parameters.
+func (m *Model) Save(w io.Writer) error {
+	hdr := []uint32{checkpointMagic, checkpointVersion, uint32(m.Cfg.Kind), uint32(len(m.Cfg.Dims))}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, m.Cfg.GINEps); err != nil {
+		return err
+	}
+	for _, d := range m.Cfg.Dims {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	for l := range m.Params.Weights {
+		if err := writeMatrix(w, m.Params.Weights[l]); err != nil {
+			return err
+		}
+		if err := writeMatrix(w, m.Params.Biases[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save and reconstructs the model.
+// Degrees (GCN normalization) are not part of the checkpoint; re-attach
+// them to the returned Config if needed.
+func Load(r io.Reader) (*Model, error) {
+	var magic, version, kind, nDims uint32
+	for _, p := range []*uint32{&magic, &version, &kind, &nDims} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("gnn: not a HyScale checkpoint (magic %#x)", magic)
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("gnn: checkpoint version %d, want %d", version, checkpointVersion)
+	}
+	if nDims < 2 || nDims > 64 {
+		return nil, fmt.Errorf("gnn: implausible dim count %d", nDims)
+	}
+	var eps float64
+	if err := binary.Read(r, binary.LittleEndian, &eps); err != nil {
+		return nil, err
+	}
+	dims := make([]int, nDims)
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		dims[i] = int(d)
+	}
+	cfg := Config{Kind: Kind(kind), Dims: dims, GINEps: eps}
+	m, err := NewModel(cfg, tensor.NewRNG(0))
+	if err != nil {
+		return nil, err
+	}
+	for l := range m.Params.Weights {
+		if err := readMatrixInto(r, m.Params.Weights[l]); err != nil {
+			return nil, err
+		}
+		if err := readMatrixInto(r, m.Params.Biases[l]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func writeMatrix(w io.Writer, m *tensor.Matrix) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(m.Rows)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(m.Cols)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, m.Data)
+}
+
+func readMatrixInto(r io.Reader, m *tensor.Matrix) error {
+	var rows, cols uint32
+	if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+		return err
+	}
+	if int(rows) != m.Rows || int(cols) != m.Cols {
+		return fmt.Errorf("gnn: checkpoint tensor %dx%d, model expects %dx%d", rows, cols, m.Rows, m.Cols)
+	}
+	return binary.Read(r, binary.LittleEndian, m.Data)
+}

@@ -1,0 +1,86 @@
+package gnn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE, GIN} {
+		m, err := NewModel(Config{Kind: kind, Dims: []int{12, 8, 5}, GINEps: 0.25}, tensor.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Cfg.Kind != kind || m2.Cfg.GINEps != 0.25 {
+			t.Fatalf("config lost: %+v", m2.Cfg)
+		}
+		if len(m2.Cfg.Dims) != 3 || m2.Cfg.Dims[1] != 8 {
+			t.Fatalf("dims lost: %v", m2.Cfg.Dims)
+		}
+		for l := range m.Params.Weights {
+			if !m.Params.Weights[l].Equal(m2.Params.Weights[l]) {
+				t.Fatalf("%v: weights layer %d differ", kind, l)
+			}
+			if !m.Params.Biases[l].Equal(m2.Params.Biases[l]) {
+				t.Fatalf("%v: biases layer %d differ", kind, l)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint at all......"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	m, _ := NewModel(Config{Kind: GCN, Dims: []int{6, 4}}, tensor.NewRNG(2))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Load(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+// A loaded model must produce identical inference results.
+func TestLoadedModelInfersIdentically(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m, _ := NewModel(Config{Kind: SAGE, Dims: []int{6, 5, 3}}, rng)
+	fx := makeFixture(t, []int{6, 5, 3}, 4, 4)
+	ref, err := m.Forward(fx.mb, fx.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Forward(fx.mb, fx.x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Logits.Equal(ref.Logits) {
+		t.Fatal("loaded model produces different logits")
+	}
+}

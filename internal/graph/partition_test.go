@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func randomGraph(t *testing.T, n, m int, seed uint64) *Graph {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g := randomGraph(t, 50, 200, 1)
+	if _, err := PartitionGreedyBFS(g, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := PartitionGreedyBFS(g, 100); err == nil {
+		t.Fatal("expected error for k > n")
+	}
+}
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	g := randomGraph(t, 300, 1500, 2)
+	p, err := PartitionGreedyBFS(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range p.Sizes {
+		total += s
+		if s == 0 {
+			t.Fatal("empty part")
+		}
+	}
+	if total != 300 {
+		t.Fatalf("assigned %d of 300", total)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	g := randomGraph(t, 400, 2400, 3)
+	p, err := PartitionGreedyBFS(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Balance(); b > 1.2 {
+		t.Fatalf("balance %v — parts too uneven", b)
+	}
+}
+
+func TestSinglePartHasNoCut(t *testing.T) {
+	g := randomGraph(t, 100, 500, 4)
+	p, err := PartitionGreedyBFS(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := p.EdgeCutFraction(g); cut != 0 {
+		t.Fatalf("1-part cut = %v", cut)
+	}
+}
+
+// Region-growing must beat random assignment on cut quality.
+func TestGreedyBeatsRandomCut(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	// A graph with locality: ring plus random chords.
+	n := 600
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{Src: int32(i), Dst: int32((i + 1) % n)})
+		edges = append(edges, Edge{Src: int32(i), Dst: int32((i + 2) % n)})
+	}
+	for i := 0; i < n/2; i++ {
+		edges = append(edges, Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionGreedyBFS(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := p.EdgeCutFraction(g)
+
+	random := &Partition{K: 4, Assign: make([]int32, n), Sizes: make([]int64, 4)}
+	for i := range random.Assign {
+		random.Assign[i] = int32(rng.Intn(4))
+		random.Sizes[random.Assign[i]]++
+	}
+	randCut := random.EdgeCutFraction(g)
+	if greedy >= randCut {
+		t.Fatalf("greedy cut %v not below random cut %v", greedy, randCut)
+	}
+}
+
+// The cluster model assumes cuts around 0.2–0.4 for power-law graphs at
+// k=4..8; verify the partitioner lands in a sane band on an RMAT-like graph.
+func TestCutFractionBandOnSkewedGraph(t *testing.T) {
+	g := randomGraph(t, 2000, 16000, 6) // uniform random: worst case ~ (k-1)/k
+	p, err := PartitionGreedyBFS(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := p.EdgeCutFraction(g)
+	if cut <= 0 || cut >= 0.95 {
+		t.Fatalf("cut %v implausible", cut)
+	}
+}
+
+// Property: any partition returned is valid and covers every vertex.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 20 + rng.Intn(200)
+		g := &Graph{NumVertices: n, RowPtr: make([]int64, n+1)}
+		edges := make([]Edge, n*3)
+		for i := range edges {
+			edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+		}
+		var err error
+		g, err = FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(6)
+		p, err := PartitionGreedyBFS(g, k)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

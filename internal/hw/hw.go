@@ -1,0 +1,179 @@
+// Package hw models the heterogeneous hardware the paper targets (§II-C,
+// Fig. 2): multi-socket CPUs with large DRAM, accelerators (GPU / FPGA)
+// with private device memory, PCIe links, and a processor interconnect.
+//
+// No real GPU/FPGA/PCIe is present in this environment; these device models
+// carry exactly the parameters the paper's performance model (§V) consumes —
+// peak FLOPS, frequency, memory bandwidth, on-chip memory — plus the
+// empirical efficiency factors (gather efficiency, framework overhead,
+// kernel-launch latency) that the paper measures implicitly through its
+// baselines. All constants are documented where defined; EXPERIMENTS.md
+// records how they were calibrated against the paper's reported ratios.
+package hw
+
+import "fmt"
+
+// Kind classifies a device.
+type Kind int
+
+const (
+	CPU Kind = iota
+	GPU
+	FPGA
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case FPGA:
+		return "FPGA"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device describes one processor or accelerator.
+type Device struct {
+	Name       string
+	Kind       Kind
+	PeakTFLOPS float64 // single-precision peak (paper Table II)
+	FreqGHz    float64
+	MemBWGBs   float64 // device/local memory bandwidth (paper Table II)
+	OnChipMB   float64 // L3 / L2 / BRAM+URAM capacity
+	Cores      int     // hardware threads available to task mapping (CPU only)
+
+	// Empirical efficiency factors (fractions of the peak numbers above).
+	MLPEff    float64 // dense-update fraction of peak FLOPS achieved
+	GatherEff float64 // irregular row-gather fraction of memory bandwidth
+	StreamEff float64 // sequential streaming fraction of memory bandwidth
+
+	// Pipelined reports whether aggregate and update overlap inside the
+	// trainer (paper Eq. 10: ⊕ = max when pipelined, Σ otherwise). True for
+	// the FPGA dataflow kernel, false for CPU/GPU.
+	Pipelined bool
+
+	// KernelLaunchUs is the fixed cost of launching one device kernel
+	// (cudaLaunchKernel / enqueueTask).
+	KernelLaunchUs float64
+
+	// FrameworkOverheadMs is the per-training-iteration host-side overhead
+	// of the software stack driving this device (Python/PyTorch dataloader,
+	// autograd bookkeeping, etc.). Zero for the HLS-native FPGA path.
+	FrameworkOverheadMs float64
+}
+
+// EffectiveTFLOPS returns the achievable dense-compute rate.
+func (d Device) EffectiveTFLOPS() float64 { return d.PeakTFLOPS * d.MLPEff }
+
+// GatherGBs returns the achievable irregular-gather bandwidth.
+func (d Device) GatherGBs() float64 { return d.MemBWGBs * d.GatherEff }
+
+// StreamGBs returns the achievable streaming bandwidth.
+func (d Device) StreamGBs() float64 { return d.MemBWGBs * d.StreamEff }
+
+// Validate checks that a device's parameters are physically meaningful.
+func (d Device) Validate() error {
+	if d.PeakTFLOPS <= 0 || d.MemBWGBs <= 0 || d.FreqGHz <= 0 {
+		return fmt.Errorf("hw: %s has non-positive peak specs", d.Name)
+	}
+	for _, e := range []float64{d.MLPEff, d.GatherEff, d.StreamEff} {
+		if e <= 0 || e > 1 {
+			return fmt.Errorf("hw: %s efficiency %v outside (0,1]", d.Name, e)
+		}
+	}
+	if d.Kind == CPU && d.Cores <= 0 {
+		return fmt.Errorf("hw: CPU %s has no cores", d.Name)
+	}
+	return nil
+}
+
+// Link models a point-to-point channel (PCIe or the processor interconnect).
+type Link struct {
+	Name      string
+	PeakGBs   float64
+	Eff       float64 // effective/burst fraction of peak (paper §V: "effective bandwidth")
+	LatencyUs float64 // per-transfer setup latency
+}
+
+// EffGBs returns the effective bandwidth.
+func (l Link) EffGBs() float64 { return l.PeakGBs * l.Eff }
+
+// TransferSec returns the time to move `bytes` across the link, including
+// the fixed setup latency.
+func (l Link) TransferSec(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.LatencyUs*1e-6 + bytes/(l.EffGBs()*1e9)
+}
+
+// Platform is one compute node: sockets × CPU, plus accelerators behind PCIe.
+type Platform struct {
+	Name    string
+	CPU     Device
+	Sockets int
+	Accels  []Device
+	PCIe    Link // per-accelerator link
+	Xbus    Link // processor interconnect (xGMI / QPI)
+	DRAMGB  float64
+}
+
+// TotalCPUTFLOPS returns the combined CPU peak across sockets.
+func (p Platform) TotalCPUTFLOPS() float64 { return p.CPU.PeakTFLOPS * float64(p.Sockets) }
+
+// TotalCPUCores returns the combined core count across sockets.
+func (p Platform) TotalCPUCores() int { return p.CPU.Cores * p.Sockets }
+
+// CPUMemBWGBs returns the aggregate CPU DRAM bandwidth across sockets.
+func (p Platform) CPUMemBWGBs() float64 { return p.CPU.MemBWGBs * float64(p.Sockets) }
+
+// TotalTFLOPS returns platform peak (CPU + accelerators) — the
+// normalization denominator of the paper's Table VII.
+func (p Platform) TotalTFLOPS() float64 {
+	total := p.TotalCPUTFLOPS()
+	for _, a := range p.Accels {
+		total += a.PeakTFLOPS
+	}
+	return total
+}
+
+// Validate checks platform consistency.
+func (p Platform) Validate() error {
+	if p.Sockets <= 0 {
+		return fmt.Errorf("hw: platform %s has %d sockets", p.Name, p.Sockets)
+	}
+	if err := p.CPU.Validate(); err != nil {
+		return err
+	}
+	for _, a := range p.Accels {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if a.Kind == CPU {
+			return fmt.Errorf("hw: accelerator %s has Kind CPU", a.Name)
+		}
+	}
+	if p.PCIe.EffGBs() <= 0 {
+		return fmt.Errorf("hw: platform %s has no PCIe bandwidth", p.Name)
+	}
+	return nil
+}
+
+// WithAccelCount returns a copy of p holding n copies of its first
+// accelerator. Used by the scalability sweep (paper Fig. 9, 1–16 accels).
+func (p Platform) WithAccelCount(n int) Platform {
+	if len(p.Accels) == 0 {
+		panic("hw: WithAccelCount on platform without accelerators")
+	}
+	out := p
+	out.Accels = make([]Device, n)
+	for i := range out.Accels {
+		out.Accels[i] = p.Accels[0]
+	}
+	out.Name = fmt.Sprintf("%s x%d", p.Name, n)
+	return out
+}

@@ -1,0 +1,136 @@
+// Package optim implements the weight-update side of training: plain SGD
+// (with optional momentum) and the Synchronizer of paper §III-A — the
+// all-reduce that gathers per-trainer gradients, averages them, and
+// broadcasts the average so every trainer applies an identical update.
+// Synchronous SGD over n trainers with batch B is thereby algorithmically
+// equivalent to one trainer with batch n·B (paper §II-B).
+package optim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gnn"
+	"repro/internal/tensor"
+)
+
+// SGD applies θ ← θ − lr·g, with optional classical momentum
+// v ← μv + g; θ ← θ − lr·v.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity *gnn.Gradients
+}
+
+// NewSGD creates an optimizer. lr must be positive; momentum in [0, 1).
+func NewSGD(lr, momentum float32) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("optim: non-positive learning rate %v", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("optim: momentum %v outside [0,1)", momentum)
+	}
+	return &SGD{LR: lr, Momentum: momentum}, nil
+}
+
+// Step applies one update to params using grads.
+func (o *SGD) Step(params *gnn.Parameters, grads *gnn.Gradients) {
+	g := grads
+	if o.Momentum > 0 {
+		if o.velocity == nil {
+			o.velocity = gnn.NewGradients(params)
+		}
+		o.velocity.Scale(o.Momentum)
+		o.velocity.Axpy(1, grads)
+		g = o.velocity
+	}
+	for l := range params.Weights {
+		tensor.Axpy(params.Weights[l], -o.LR, g.Weights[l])
+		tensor.Axpy(params.Biases[l], -o.LR, g.Biases[l])
+	}
+}
+
+// Synchronizer performs the DONE-counting all-reduce of paper Listing 1:
+// trainers submit gradients (incrementing DONE under a mutex and signalling a
+// condition variable); when DONE reaches n the synchronizer averages and the
+// averaged gradients are broadcast to all waiters.
+type Synchronizer struct {
+	n       int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	done    int // the paper's DONE counter
+	pending []*gnn.Gradients
+	avg     *gnn.Gradients
+	round   uint64
+}
+
+// NewSynchronizer creates a synchronizer for n trainers.
+func NewSynchronizer(n int) (*Synchronizer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("optim: synchronizer needs n > 0, got %d", n)
+	}
+	s := &Synchronizer{n: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// N returns the number of participating trainers.
+func (s *Synchronizer) N() int { return s.n }
+
+// Submit delivers one trainer's gradients and blocks until all n trainers of
+// the current round have submitted; it then returns the element-wise average.
+// The returned gradients are shared — callers must not mutate them.
+// Weighted averaging for unequal batch sizes is the caller's concern: submit
+// gradients pre-scaled by batchSize/totalBatchSize and the "average" here
+// becomes the correct weighted mean if AverageMode is SumMode.
+func (s *Synchronizer) Submit(g *gnn.Gradients) *gnn.Gradients {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	myRound := s.round
+	s.pending = append(s.pending, g)
+	s.done++ // paper Listing 1: DONE++
+	if s.done == s.n {
+		// Last arrival plays the Synchronizer role: gather, average, broadcast.
+		avg := s.pending[0].Clone()
+		for _, other := range s.pending[1:] {
+			avg.Axpy(1, other)
+		}
+		avg.Scale(1 / float32(s.n))
+		s.avg = avg
+		s.pending = s.pending[:0]
+		s.done = 0
+		s.round++
+		s.cond.Broadcast()
+		return avg
+	}
+	for s.round == myRound {
+		s.cond.Wait()
+	}
+	return s.avg
+}
+
+// WeightedAllReduce averages gradients with explicit weights (e.g. per-device
+// mini-batch shares under DRM re-balancing) without goroutine coordination.
+// Weights are normalised to sum to 1. Used by the deterministic
+// (single-goroutine) training paths and tests.
+func WeightedAllReduce(grads []*gnn.Gradients, weights []float64) (*gnn.Gradients, error) {
+	if len(grads) == 0 || len(grads) != len(weights) {
+		return nil, fmt.Errorf("optim: %d gradients, %d weights", len(grads), len(weights))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("optim: negative weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("optim: all weights zero")
+	}
+	out := grads[0].Clone()
+	out.Scale(float32(weights[0] / total))
+	for i := 1; i < len(grads); i++ {
+		out.Axpy(float32(weights[i]/total), grads[i])
+	}
+	return out, nil
+}

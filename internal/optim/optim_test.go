@@ -1,0 +1,167 @@
+package optim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/tensor"
+)
+
+func tinyModel(t *testing.T, seed uint64) *gnn.Model {
+	t.Helper()
+	m, err := gnn.NewModel(gnn.Config{Kind: gnn.GCN, Dims: []int{3, 2}}, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewSGDValidation(t *testing.T) {
+	if _, err := NewSGD(0, 0); err == nil {
+		t.Fatal("expected error for lr=0")
+	}
+	if _, err := NewSGD(0.1, 1.0); err == nil {
+		t.Fatal("expected error for momentum=1")
+	}
+	if _, err := NewSGD(0.1, -0.1); err == nil {
+		t.Fatal("expected error for negative momentum")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	m := tinyModel(t, 1)
+	before := m.Params.Weights[0].At(0, 0)
+	g := gnn.NewGradients(m.Params)
+	g.Weights[0].Fill(1)
+	opt, _ := NewSGD(0.1, 0)
+	opt.Step(m.Params, g)
+	after := m.Params.Weights[0].At(0, 0)
+	if math.Abs(float64(after-(before-0.1))) > 1e-6 {
+		t.Fatalf("SGD step: %v -> %v", before, after)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	m := tinyModel(t, 2)
+	g := gnn.NewGradients(m.Params)
+	g.Weights[0].Fill(1)
+	opt, _ := NewSGD(1, 0.5)
+	w0 := m.Params.Weights[0].At(0, 0)
+	opt.Step(m.Params, g) // v=1, w -= 1
+	opt.Step(m.Params, g) // v=1.5, w -= 1.5
+	got := m.Params.Weights[0].At(0, 0)
+	want := w0 - 1 - 1.5
+	if math.Abs(float64(got-want)) > 1e-6 {
+		t.Fatalf("momentum: got %v want %v", got, want)
+	}
+}
+
+func TestSynchronizerValidation(t *testing.T) {
+	if _, err := NewSynchronizer(0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestSynchronizerAverages(t *testing.T) {
+	m := tinyModel(t, 3)
+	const n = 4
+	sync_, err := NewSynchronizer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*gnn.Gradients, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := gnn.NewGradients(m.Params)
+			g.Weights[0].Fill(float32(i + 1)) // 1,2,3,4 -> avg 2.5
+			results[i] = sync_.Submit(g)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("broadcast returned different objects")
+		}
+	}
+	if got := results[0].Weights[0].At(0, 0); math.Abs(float64(got)-2.5) > 1e-6 {
+		t.Fatalf("average = %v, want 2.5", got)
+	}
+}
+
+func TestSynchronizerMultipleRounds(t *testing.T) {
+	m := tinyModel(t, 4)
+	const n, rounds = 3, 5
+	s, _ := NewSynchronizer(n)
+	var wg sync.WaitGroup
+	errs := make(chan string, n*rounds)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				g := gnn.NewGradients(m.Params)
+				g.Weights[0].Fill(float32(r * 3)) // all trainers agree per round
+				avg := s.Submit(g)
+				if got := avg.Weights[0].At(0, 0); got != float32(r*3) {
+					errs <- "wrong round average"
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestWeightedAllReduce(t *testing.T) {
+	m := tinyModel(t, 5)
+	g1 := gnn.NewGradients(m.Params)
+	g1.Weights[0].Fill(10)
+	g2 := gnn.NewGradients(m.Params)
+	g2.Weights[0].Fill(20)
+	avg, err := WeightedAllReduce([]*gnn.Gradients{g1, g2}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10*3 + 20*1)/4 = 12.5
+	if got := avg.Weights[0].At(0, 0); math.Abs(float64(got)-12.5) > 1e-6 {
+		t.Fatalf("weighted avg = %v, want 12.5", got)
+	}
+}
+
+func TestWeightedAllReduceValidation(t *testing.T) {
+	m := tinyModel(t, 6)
+	g := gnn.NewGradients(m.Params)
+	if _, err := WeightedAllReduce(nil, nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := WeightedAllReduce([]*gnn.Gradients{g}, []float64{-1}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if _, err := WeightedAllReduce([]*gnn.Gradients{g}, []float64{0}); err == nil {
+		t.Fatal("expected error for zero total weight")
+	}
+	if _, err := WeightedAllReduce([]*gnn.Gradients{g}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+// Equal weights must reduce to the plain average (same as Synchronizer).
+func TestWeightedMatchesUnweighted(t *testing.T) {
+	m := tinyModel(t, 7)
+	g1 := gnn.NewGradients(m.Params)
+	g1.Weights[0].Fill(4)
+	g2 := gnn.NewGradients(m.Params)
+	g2.Weights[0].Fill(8)
+	avg, _ := WeightedAllReduce([]*gnn.Gradients{g1, g2}, []float64{1, 1})
+	if got := avg.Weights[0].At(0, 0); got != 6 {
+		t.Fatalf("got %v want 6", got)
+	}
+}

@@ -1,0 +1,378 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+)
+
+func fpgaModel(t *testing.T, spec datagen.Spec, kind gnn.Kind) *Model {
+	t.Helper()
+	m, err := New(hw.CPUFPGAPlatform(), DefaultWorkload(spec, kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := DefaultWorkload(datagen.OGBNProducts, gnn.GCN)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w.BatchSize = 0
+	if w.Validate() == nil {
+		t.Fatal("expected batch-size error")
+	}
+	w = DefaultWorkload(datagen.OGBNProducts, gnn.GCN)
+	w.Fanouts = []int{25}
+	if w.Validate() == nil {
+		t.Fatal("expected fanout-count error")
+	}
+}
+
+func TestNewValidatesPlatform(t *testing.T) {
+	bad := hw.CPUFPGAPlatform()
+	bad.Sockets = 0
+	if _, err := New(bad, DefaultWorkload(datagen.OGBNProducts, gnn.GCN)); err == nil {
+		t.Fatal("expected platform error")
+	}
+}
+
+func TestSizesForPaperConfig(t *testing.T) {
+	w := DefaultWorkload(datagen.OGBNPapers100M, gnn.GCN)
+	s := w.SizesFor(1024)
+	if s.VL[2] != 1024 {
+		t.Fatalf("targets = %v", s.VL[2])
+	}
+	// papers100M avg degree ≈ 14.5 < 25, so the inner fanout caps at 14.5.
+	if s.EL[1] != 10240 {
+		t.Fatalf("E2 = %v, want 1024×10", s.EL[1])
+	}
+	avgDeg := float64(datagen.OGBNPapers100M.NumEdges) / float64(datagen.OGBNPapers100M.NumVertices)
+	if math.Abs(s.EL[0]-s.VL[1]*avgDeg) > 1 {
+		t.Fatalf("E1 = %v, want V1×avgDeg = %v", s.EL[0], s.VL[1]*avgDeg)
+	}
+}
+
+func TestAssignmentTotalAndClone(t *testing.T) {
+	a := Assignment{CPUBatch: 100, AccelBatch: []int{200, 300}}
+	if a.TotalBatch() != 600 {
+		t.Fatalf("TotalBatch = %d", a.TotalBatch())
+	}
+	c := a.Clone()
+	c.AccelBatch[0] = 999
+	if a.AccelBatch[0] != 200 {
+		t.Fatal("Clone shares AccelBatch")
+	}
+}
+
+func TestSamplingTimeScalesWithThreads(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNProducts, gnn.GCN)
+	t1 := m.SamplingTimeCPU(4096, 1)
+	t32 := m.SamplingTimeCPU(4096, 32)
+	if math.Abs(t1/t32-32) > 1e-6 {
+		t.Fatalf("sampling not linear in threads: %v / %v", t1, t32)
+	}
+	if m.SamplingTimeCPU(0, 8) != 0 || m.SamplingTimeCPU(100, 0) != 0 {
+		t.Fatal("degenerate sampling times should be 0")
+	}
+	if m.SamplingTimeAccel(0) != 0 {
+		t.Fatal("zero-batch accel sampling should be 0")
+	}
+	if m.SamplingTimeAccel(1024) <= 0 {
+		t.Fatal("accel sampling time should be positive")
+	}
+}
+
+func TestLoadTimeEq7(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNPapers100M, gnn.GCN)
+	a := Assignment{AccelBatch: []int{1024}, LoadThreads: 32}
+	got := m.LoadTime(a)
+	// Eq. 7: |V0|·f0·4 / BW, with the loader's DRAM share as the bandwidth.
+	rows := m.Work.SizesFor(1024).VL[0]
+	want := rows * 128 * 4 / (m.Plat.CPUMemBWGBs() * 0.30 * 1e9)
+	if math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("LoadTime = %v, want %v", got, want)
+	}
+	// Halving threads below saturation doubles time.
+	a16 := a
+	a16.LoadThreads = 16
+	if math.Abs(m.LoadTime(a16)/got-2) > 1e-6 {
+		t.Fatal("load time should scale inversely with threads below saturation")
+	}
+	// More threads than saturation: no further speedup.
+	a64 := a
+	a64.LoadThreads = 64
+	if m.LoadTime(a64) != got {
+		t.Fatal("load time should saturate")
+	}
+	// No accelerator work: no load stage.
+	if m.LoadTime(Assignment{LoadThreads: 32}) != 0 {
+		t.Fatal("load with no accel batch should be 0")
+	}
+}
+
+func TestTransferTimeEq8(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNPapers100M, gnn.GCN)
+	a := Assignment{AccelBatch: []int{512, 512, 512, 512}}
+	single := Assignment{AccelBatch: []int{512}}
+	// Links are private: 4 equal accelerators cost the same as 1.
+	if math.Abs(m.TransferTime(a)-m.TransferTime(single)) > 1e-12 {
+		t.Fatal("parallel PCIe links should not add up")
+	}
+	// Larger batch → strictly more transfer time.
+	big := Assignment{AccelBatch: []int{1024}}
+	if m.TransferTime(big) <= m.TransferTime(single) {
+		t.Fatal("transfer time should grow with batch")
+	}
+	if m.TransferTime(Assignment{}) != 0 {
+		t.Fatal("no accel → no transfer")
+	}
+}
+
+func TestTrainTimePipeliningAdvantage(t *testing.T) {
+	// The same batch on a hypothetical non-pipelined U250 must be slower
+	// than the pipelined one (⊕ = max vs Σ, Eq. 10).
+	plat := hw.CPUFPGAPlatform()
+	m, _ := New(plat, DefaultWorkload(datagen.OGBNPapers100M, gnn.GCN))
+	a := Assignment{AccelBatch: []int{1024}}
+	piped := m.TrainTimeAccel(a)
+
+	plat2 := hw.CPUFPGAPlatform()
+	for i := range plat2.Accels {
+		plat2.Accels[i].Pipelined = false
+	}
+	m2, _ := New(plat2, DefaultWorkload(datagen.OGBNPapers100M, gnn.GCN))
+	seq := m2.TrainTimeAccel(a)
+	if piped >= seq {
+		t.Fatalf("pipelined %v should beat sequential %v", piped, seq)
+	}
+}
+
+func TestTrainTimeCPUScalesWithThreads(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNProducts, gnn.GCN)
+	a := Assignment{CPUBatch: 1024, TrainThreads: 64}
+	t64 := m.TrainTimeCPU(a)
+	a.TrainThreads = 32
+	t32 := m.TrainTimeCPU(a)
+	if math.Abs(t32/t64-2) > 1e-6 {
+		t.Fatalf("CPU training should scale with threads: %v vs %v", t32, t64)
+	}
+	if m.TrainTimeCPU(Assignment{CPUBatch: 0, TrainThreads: 8}) != 0 {
+		t.Fatal("no CPU batch → no CPU training time")
+	}
+}
+
+func TestSAGECostsMoreThanGCN(t *testing.T) {
+	// SAGE's concatenation doubles the dense-update input width (Eq. 12
+	// with 2·f_in) — its propagation and sync must cost more.
+	gcn := fpgaModel(t, datagen.OGBNPapers100M, gnn.GCN)
+	sage := fpgaModel(t, datagen.OGBNPapers100M, gnn.SAGE)
+	a := Assignment{AccelBatch: []int{1024}}
+	if sage.TrainTimeAccel(a) <= gcn.TrainTimeAccel(a) {
+		t.Fatal("SAGE propagation should cost more than GCN")
+	}
+	if sage.SyncTime() <= gcn.SyncTime() {
+		t.Fatal("SAGE sync should cost more than GCN (larger model)")
+	}
+}
+
+func TestSyncTimeEq13(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNProducts, gnn.GCN)
+	// GCN model: W1 100×256 + b 256, W2 256×47 + b 47.
+	params := float64(100*256 + 256 + 256*47 + 47)
+	want := 2 * params * 4 / (m.Plat.PCIe.EffGBs() * 1e9)
+	if math.Abs(m.SyncTime()-want) > want*1e-12 {
+		t.Fatalf("SyncTime = %v, want %v", m.SyncTime(), want)
+	}
+}
+
+func TestIterationsAndEpoch(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNProducts, gnn.GCN)
+	a := m.InitialAssignment(true)
+	// 196,615 train nodes / 4096 global batch = 49 iterations.
+	if got := m.Iterations(a); got != 49 {
+		t.Fatalf("Iterations = %d, want 49", got)
+	}
+	if m.EpochTime(a) <= 0 {
+		t.Fatal("epoch time must be positive")
+	}
+	if math.Abs(m.EpochTime(a)-float64(m.Iterations(a))*m.IterTime(a)) > 1e-12 {
+		t.Fatal("EpochTime != Iterations × IterTime")
+	}
+	if m.Iterations(Assignment{}) != 0 {
+		t.Fatal("empty assignment should have 0 iterations")
+	}
+}
+
+func TestInitialAssignmentConservesBatch(t *testing.T) {
+	for _, spec := range datagen.PaperSpecs() {
+		for _, kind := range []gnn.Kind{gnn.GCN, gnn.SAGE} {
+			m := fpgaModel(t, spec, kind)
+			hybrid := m.InitialAssignment(true)
+			baseline := m.InitialAssignment(false)
+			if hybrid.TotalBatch() != 4096 || baseline.TotalBatch() != 4096 {
+				t.Fatalf("%s/%v: batches %d/%d, want 4096",
+					spec.Name, kind, hybrid.TotalBatch(), baseline.TotalBatch())
+			}
+			if baseline.CPUBatch != 0 {
+				t.Fatal("non-hybrid assignment must not train on CPU")
+			}
+			// Hybrid must never predict worse than accelerator-only.
+			if m.IterTime(hybrid) > m.IterTime(baseline)+1e-12 {
+				t.Fatalf("%s/%v: hybrid %v slower than baseline %v",
+					spec.Name, kind, m.IterTime(hybrid), m.IterTime(baseline))
+			}
+		}
+	}
+}
+
+func TestInitialAssignmentCPUOnly(t *testing.T) {
+	plat := hw.CPUFPGAPlatform()
+	plat.Accels = nil
+	m, err := New(plat, DefaultWorkload(datagen.OGBNProducts, gnn.GCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.InitialAssignment(true)
+	if a.CPUBatch != 1024 || len(a.AccelBatch) != 0 {
+		t.Fatalf("CPU-only assignment: %+v", a)
+	}
+}
+
+func TestHybridBeatsAccelOnly(t *testing.T) {
+	// The intro's motivation: CPU+accel should beat accel-only. Check the
+	// predicted epoch time improves for the FPGA platform on every dataset.
+	for _, spec := range datagen.PaperSpecs() {
+		m := fpgaModel(t, spec, gnn.GCN)
+		hybrid := m.EpochTime(m.InitialAssignment(true))
+		only := m.EpochTime(m.InitialAssignment(false))
+		if hybrid >= only {
+			t.Errorf("%s: hybrid %v not faster than accel-only %v", spec.Name, hybrid, only)
+		}
+	}
+}
+
+func TestThroughputMTEPS(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNProducts, gnn.GCN)
+	a := m.InitialAssignment(true)
+	mteps := m.ThroughputMTEPS(a)
+	if mteps <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	// Cross-check Eq. 5: edges/iter ÷ iter time.
+	var edges float64
+	edges += m.Work.EdgesPerBatch(a.CPUBatch)
+	for _, b := range a.AccelBatch {
+		edges += m.Work.EdgesPerBatch(b)
+	}
+	want := edges / m.IterTime(a) / 1e6
+	if math.Abs(mteps-want) > want*1e-9 {
+		t.Fatalf("MTEPS = %v, want %v", mteps, want)
+	}
+	if m.ThroughputMTEPS(Assignment{}) != 0 {
+		t.Fatal("empty assignment throughput should be 0")
+	}
+}
+
+// Software profiles: the torch loader path is thread-independent and slower
+// than the native loader at full threads; the PyG sampling factor inflates
+// sampling cost.
+func TestSoftwareProfiles(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNPapers100M, gnn.GCN)
+	nativeFull := m.LoadTimeForRows(100000, 64)
+
+	m.Profile = TorchProfile()
+	torch32 := m.LoadTimeForRows(100000, 32)
+	torch4 := m.LoadTimeForRows(100000, 4)
+	if torch32 != torch4 {
+		t.Fatal("torch loader should be thread-independent")
+	}
+	if torch32 <= nativeFull {
+		t.Fatal("torch loader should be slower than the saturated native loader")
+	}
+
+	m.Profile = PyGBaselineProfile()
+	pygSamp := m.SamplingTimeCPU(4096, 32)
+	m.Profile = NativeProfile()
+	natSamp := m.SamplingTimeCPU(4096, 32)
+	if pygSamp <= natSamp {
+		t.Fatal("PyG dataloader sampling should cost more than native")
+	}
+}
+
+// The §VIII quantization knob: int8 transfer must shrink Eq. 8 by close to
+// 4x on feature-dominated payloads, and never change loading or compute.
+func TestQuantizedTransferTime(t *testing.T) {
+	m := fpgaModel(t, datagen.MAG240MHomo, gnn.GCN) // 756-dim: features dominate
+	s := m.Work.SizesFor(1024)
+	fp32 := m.TransferTimeFor(s)
+	m.Work.TransferBytesPerFeat = 1
+	int8t := m.TransferTimeFor(s)
+	ratio := fp32 / int8t
+	if ratio < 2.5 || ratio > 4 {
+		t.Fatalf("int8 transfer ratio %v, want ~3-4x on wide features", ratio)
+	}
+	if m.LoadTimeForRows(1000, 32) != func() float64 {
+		m2 := fpgaModel(t, datagen.MAG240MHomo, gnn.GCN)
+		return m2.LoadTimeForRows(1000, 32)
+	}() {
+		t.Fatal("quantization must not change DRAM loading")
+	}
+}
+
+// Property: stage times are non-negative and monotone in batch size.
+func TestStageMonotonicity(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNPapers100M, gnn.GCN)
+	f := func(rawB uint16) bool {
+		b := int(rawB%2048) + 1
+		a1 := Assignment{CPUBatch: b, AccelBatch: []int{b}, SampThreads: 16, LoadThreads: 16, TrainThreads: 32}
+		a2 := Assignment{CPUBatch: 2 * b, AccelBatch: []int{2 * b}, SampThreads: 16, LoadThreads: 16, TrainThreads: 32}
+		s1, s2 := m.Stages(a1), m.Stages(a2)
+		return s1.Load <= s2.Load && s1.Trans <= s2.Trans &&
+			s1.TrainCPU <= s2.TrainCPU && s1.TrainAcc <= s2.TrainAcc &&
+			s1.SampCPU <= s2.SampCPU && s1.Load >= 0 && s1.Bottleneck() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scalability sanity (Fig. 9 regime): throughput grows with accelerator
+// count but saturates as the CPU memory bandwidth becomes the limit
+// (the paper observes saturation past ~12 accelerators).
+func TestScalabilitySaturates(t *testing.T) {
+	base := hw.CPUFPGAPlatform()
+	work := DefaultWorkload(datagen.OGBNPapers100M, gnn.GCN)
+	var prev float64
+	var speedups []float64
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		plat := base.WithAccelCount(n)
+		m, err := New(plat, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := m.InitialAssignment(false) // accelerator-fleet scaling, as in Fig. 9
+		mteps := m.ThroughputMTEPS(a)
+		if mteps < prev*0.99 {
+			t.Fatalf("throughput regressed at %d accels: %v < %v", n, mteps, prev)
+		}
+		speedups = append(speedups, mteps)
+		prev = mteps
+	}
+	// Early scaling must be near-linear; past the CPU-memory-bandwidth knee
+	// (the paper: ~12 accelerators) it must flatten.
+	early := speedups[1] / speedups[0]
+	late := speedups[5] / speedups[4]
+	if early < 1.7 {
+		t.Fatalf("early scaling not near-linear: 1→2 gain %v", early)
+	}
+	if late >= early*0.8 {
+		t.Fatalf("no saturation: 1→2 gain %v, 16→32 gain %v", early, late)
+	}
+}

@@ -1,0 +1,225 @@
+// Package pipesim is the execution simulator for HyScale-GNN's 4-stage
+// training pipeline (paper Fig. 4/7): Sampling → Feature Loading → Data
+// Transfer → GNN Propagation. It advances a max-plus recurrence over
+// iterations — stage s of iteration i starts when stage s−1 of iteration i
+// and stage s of iteration i−1 have both finished — which models both the
+// pipeline fill and the steady state.
+//
+// Unlike the analytic model (internal/perfmodel), the simulator charges the
+// overheads §VI-C identifies as model error: accelerator kernel-launch
+// latency, dataflow pipeline flushing, per-iteration runtime coordination
+// (barriers/handshakes), and measurement noise. The gap between the two is
+// exactly the paper's Fig. 8 "predicted vs actual" experiment.
+package pipesim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Mode selects which of the paper's optimizations are active (the Fig. 11
+// ablation axes).
+type Mode struct {
+	Hybrid bool // CPU trainer participates (vs. accelerator-only)
+	DRM    bool // dynamic resource management adjusts the mapping at runtime
+	TFP    bool // two-stage feature prefetching (split Load / Transfer stages)
+	// NoOverlap disables inter-stage pipelining entirely: each iteration is
+	// sample → load → transfer → train, strictly sequential. Used for the
+	// PyG-style multi-GPU baseline, which trains through a synchronous
+	// dataloader loop.
+	NoOverlap bool
+}
+
+// Controller adjusts the task mapping between iterations; the DRM engine
+// implements it. Adjust receives the stage times measured in iteration i and
+// returns the assignment for iteration i+1.
+type Controller interface {
+	Adjust(iter int, measured perfmodel.StageTimes, a perfmodel.Assignment) perfmodel.Assignment
+}
+
+// Config drives one simulated training epoch.
+type Config struct {
+	Model *perfmodel.Model
+	Mode  Mode
+	Ctrl  Controller // nil for static mapping
+	Seed  uint64
+	// Iterations overrides the epoch length (0 = derive from TrainNodes).
+	Iterations int
+	// NoiseStd is the multiplicative measurement noise per stage.
+	// Zero selects the default (0.02); pass a negative value to disable
+	// noise entirely.
+	NoiseStd float64
+}
+
+// Overhead constants the analytic model omits (paper §VI-C).
+const (
+	// runtimeBarrierUs is the per-iteration cost of the protocol handshakes
+	// (DONE/ACK, condition variables) and Go/pthread scheduling.
+	runtimeBarrierUs = 120.0
+	// kernelsPerIteration is how many device kernels one training iteration
+	// launches on an accelerator (aggregate+update, forward+backward).
+	kernelsPerIteration = 4
+	// flushFraction models dataflow pipeline fill/flush as a fraction of the
+	// accelerator's compute time.
+	flushFraction = 0.06
+)
+
+// Result reports a simulated epoch.
+type Result struct {
+	EpochSec    float64
+	IterSec     []float64 // completion-time deltas per iteration
+	MeanStages  perfmodel.StageTimes
+	FinalAssign perfmodel.Assignment
+	MTEPS       float64
+	// Trace holds the per-iteration stage times (after overheads/noise),
+	// the raw series behind the figures; feed it to trace.Recorder for CSV.
+	Trace []perfmodel.StageTimes
+}
+
+// Run simulates one epoch and returns the timing result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("pipesim: nil model")
+	}
+	m := cfg.Model
+	assign := m.InitialAssignment(cfg.Mode.Hybrid)
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = m.Iterations(assign)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("pipesim: zero iterations")
+	}
+	noiseStd := cfg.NoiseStd
+	if noiseStd == 0 {
+		noiseStd = 0.02
+	} else if noiseStd < 0 {
+		noiseStd = 0
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+
+	numStages := 3 // samp, prefetch(load+trans), prop
+	if cfg.Mode.TFP {
+		numStages = 4 // samp, load, trans, prop
+	}
+	prevDone := make([]float64, numStages)
+	res := &Result{IterSec: make([]float64, 0, iters)}
+	var sum perfmodel.StageTimes
+	var totalEdges float64
+	var lastFinish float64
+
+	for i := 0; i < iters; i++ {
+		st := m.Stages(assign)
+		applyOverheads(&st, m.Plat, assign, rng, noiseStd)
+		sum = addStages(sum, st)
+		res.Trace = append(res.Trace, st)
+
+		stages := stageVector(st, cfg.Mode.TFP)
+		if cfg.Mode.NoOverlap {
+			var t float64
+			for _, s := range stages {
+				t += s
+			}
+			lastFinish += t
+			res.IterSec = append(res.IterSec, t)
+		} else {
+			done := make([]float64, numStages)
+			prev := 0.0
+			for s := 0; s < numStages; s++ {
+				start := math.Max(prev, prevDone[s])
+				done[s] = start + stages[s]
+				prev = done[s]
+			}
+			res.IterSec = append(res.IterSec, done[numStages-1]-lastFinish)
+			lastFinish = done[numStages-1]
+			prevDone = done
+		}
+
+		if assign.CPUBatch > 0 {
+			totalEdges += m.Work.EdgesPerBatch(assign.CPUBatch)
+		}
+		for _, b := range assign.AccelBatch {
+			if b > 0 {
+				totalEdges += m.Work.EdgesPerBatch(b)
+			}
+		}
+		if cfg.Mode.DRM && cfg.Ctrl != nil {
+			assign = cfg.Ctrl.Adjust(i, st, assign)
+		}
+	}
+	res.EpochSec = lastFinish
+	res.FinalAssign = assign
+	res.MeanStages = scaleStages(sum, 1/float64(iters))
+	if res.EpochSec > 0 {
+		res.MTEPS = totalEdges / res.EpochSec / 1e6
+	}
+	return res, nil
+}
+
+// applyOverheads adds the simulator-only costs to the analytic stage times.
+func applyOverheads(st *perfmodel.StageTimes, plat hw.Platform, a perfmodel.Assignment,
+	rng *tensor.RNG, noiseStd float64) {
+	barrier := runtimeBarrierUs * 1e-6
+
+	// Accelerator trainer: framework overhead + kernel launches + flush.
+	if len(plat.Accels) > 0 && st.TrainAcc > 0 {
+		dev := plat.Accels[0]
+		st.TrainAcc += dev.FrameworkOverheadMs*1e-3 +
+			float64(kernelsPerIteration)*dev.KernelLaunchUs*1e-6 +
+			flushFraction*st.TrainAcc
+	}
+	// CPU trainer: host framework overhead.
+	if st.TrainCPU > 0 {
+		st.TrainCPU += plat.CPU.FrameworkOverheadMs * 1e-3
+	}
+	noise := func(t float64) float64 {
+		if t <= 0 {
+			return t
+		}
+		return t * (1 + noiseStd*rng.NormFloat64())
+	}
+	st.SampCPU = noise(st.SampCPU) + barrier
+	st.SampAccel = noise(st.SampAccel)
+	st.Load = noise(st.Load) + barrier
+	st.Trans = noise(st.Trans) + barrier
+	st.TrainCPU = noise(st.TrainCPU)
+	st.TrainAcc = noise(st.TrainAcc) + barrier
+}
+
+// stageVector flattens StageTimes into the pipeline's stage sequence.
+func stageVector(st perfmodel.StageTimes, tfp bool) []float64 {
+	samp := math.Max(st.SampCPU, st.SampAccel)
+	prop := math.Max(st.TrainCPU, st.TrainAcc) + st.Sync
+	if tfp {
+		return []float64{samp, st.Load, st.Trans, prop}
+	}
+	return []float64{samp, st.Load + st.Trans, prop}
+}
+
+func addStages(a, b perfmodel.StageTimes) perfmodel.StageTimes {
+	return perfmodel.StageTimes{
+		SampCPU:   a.SampCPU + b.SampCPU,
+		SampAccel: a.SampAccel + b.SampAccel,
+		Load:      a.Load + b.Load,
+		Trans:     a.Trans + b.Trans,
+		TrainCPU:  a.TrainCPU + b.TrainCPU,
+		TrainAcc:  a.TrainAcc + b.TrainAcc,
+		Sync:      a.Sync + b.Sync,
+	}
+}
+
+func scaleStages(a perfmodel.StageTimes, s float64) perfmodel.StageTimes {
+	return perfmodel.StageTimes{
+		SampCPU:   a.SampCPU * s,
+		SampAccel: a.SampAccel * s,
+		Load:      a.Load * s,
+		Trans:     a.Trans * s,
+		TrainCPU:  a.TrainCPU * s,
+		TrainAcc:  a.TrainAcc * s,
+		Sync:      a.Sync * s,
+	}
+}

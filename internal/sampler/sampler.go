@@ -1,0 +1,277 @@
+// Package sampler implements mini-batch neighbor sampling (GraphSAGE,
+// Hamilton et al.) producing layered message-flow blocks, plus the
+// expected-size model the performance model (paper §V) uses to reason about
+// full-scale datasets without materialising them.
+package sampler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Block is one bipartite layer of a mini-batch: messages flow from the Src
+// vertex set to the Dst vertex set. Dst is always a prefix of Src (every
+// destination also appears as a source so self-features are available for
+// GraphSAGE's concat and GCN's self loop). Edges are stored CSC-style over
+// destinations; Col holds *local* indices into Src.
+type Block struct {
+	Src    []int32 // global vertex IDs; Src[:len(Dst)] == Dst
+	Dst    []int32 // global vertex IDs of this layer's targets
+	RowPtr []int32 // len(Dst)+1
+	Col    []int32 // local src indices, len == NumEdges()
+}
+
+// NumEdges returns the number of sampled edges in the block.
+func (b *Block) NumEdges() int { return len(b.Col) }
+
+// Validate checks the structural invariants of a block.
+func (b *Block) Validate() error {
+	if len(b.Src) < len(b.Dst) {
+		return fmt.Errorf("sampler: |Src|=%d < |Dst|=%d", len(b.Src), len(b.Dst))
+	}
+	for i := range b.Dst {
+		if b.Src[i] != b.Dst[i] {
+			return fmt.Errorf("sampler: Dst not a prefix of Src at %d", i)
+		}
+	}
+	if len(b.RowPtr) != len(b.Dst)+1 {
+		return fmt.Errorf("sampler: RowPtr len %d, want %d", len(b.RowPtr), len(b.Dst)+1)
+	}
+	if b.RowPtr[0] != 0 || int(b.RowPtr[len(b.Dst)]) != len(b.Col) {
+		return fmt.Errorf("sampler: RowPtr endpoints wrong")
+	}
+	for i := 0; i < len(b.Dst); i++ {
+		if b.RowPtr[i+1] < b.RowPtr[i] {
+			return fmt.Errorf("sampler: RowPtr not monotone at %d", i)
+		}
+	}
+	for _, c := range b.Col {
+		if c < 0 || int(c) >= len(b.Src) {
+			return fmt.Errorf("sampler: Col index %d out of range [0,%d)", c, len(b.Src))
+		}
+	}
+	return nil
+}
+
+// SortedEdgesBySource returns the block's edges (in local indices) ordered by
+// source, the layout the accelerator scatter-gather kernel consumes.
+func (b *Block) SortedEdgesBySource() []graph.Edge {
+	edges := make([]graph.Edge, 0, len(b.Col))
+	for d := 0; d < len(b.Dst); d++ {
+		for _, s := range b.Col[b.RowPtr[d]:b.RowPtr[d+1]] {
+			edges = append(edges, graph.Edge{Src: s, Dst: int32(d)})
+		}
+	}
+	return graph.SortEdgesBySource(edges)
+}
+
+// MiniBatch is an L-layer computational graph. Blocks[0] is the input-most
+// layer (its Src is V0, the vertices whose raw features are gathered);
+// Blocks[L-1].Dst are the target vertices VL.
+type MiniBatch struct {
+	Blocks  []*Block
+	Targets []int32
+	Labels  []int32
+}
+
+// InputNodes returns V0, the vertices whose features must be loaded.
+func (mb *MiniBatch) InputNodes() []int32 { return mb.Blocks[0].Src }
+
+// EdgesTraversed returns Σ_l |E_l|, the numerator of the paper's MTEPS
+// throughput metric (Eq. 5).
+func (mb *MiniBatch) EdgesTraversed() int64 {
+	var total int64
+	for _, b := range mb.Blocks {
+		total += int64(b.NumEdges())
+	}
+	return total
+}
+
+// Sampler draws mini-batches from a graph using per-layer neighbor fanouts.
+// Fanouts[0] applies to the input-most layer. The paper uses (25, 10) with
+// batch size 1024.
+type Sampler struct {
+	G       *graph.Graph
+	Fanouts []int
+	Labels  []int32
+}
+
+// New creates a sampler. Fanouts must all be positive.
+func New(g *graph.Graph, fanouts []int, labels []int32) (*Sampler, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("sampler: no fanouts")
+	}
+	for _, f := range fanouts {
+		if f <= 0 {
+			return nil, fmt.Errorf("sampler: non-positive fanout %d", f)
+		}
+	}
+	if labels != nil && len(labels) != g.NumVertices {
+		return nil, fmt.Errorf("sampler: %d labels for %d vertices", len(labels), g.NumVertices)
+	}
+	return &Sampler{G: g, Fanouts: fanouts, Labels: labels}, nil
+}
+
+// Sample draws one mini-batch for the given target vertices. Sampling per
+// destination is without replacement: if a vertex has degree ≤ fanout all
+// neighbors are taken, otherwise a uniform `fanout`-subset is drawn
+// (reservoir sampling). Deterministic given rng state.
+func (s *Sampler) Sample(targets []int32, rng *tensor.RNG) (*MiniBatch, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("sampler: empty target set")
+	}
+	for _, v := range targets {
+		if v < 0 || int(v) >= s.G.NumVertices {
+			return nil, fmt.Errorf("sampler: target %d out of range", v)
+		}
+	}
+	L := len(s.Fanouts)
+	blocks := make([]*Block, L)
+	frontier := append([]int32(nil), targets...)
+	// Sample from the output layer inward: block L-1 first.
+	for l := L - 1; l >= 0; l-- {
+		blk := s.sampleLayer(frontier, s.Fanouts[l], rng)
+		blocks[l] = blk
+		frontier = blk.Src
+	}
+	mb := &MiniBatch{Blocks: blocks, Targets: append([]int32(nil), targets...)}
+	if s.Labels != nil {
+		mb.Labels = make([]int32, len(targets))
+		for i, v := range targets {
+			mb.Labels[i] = s.Labels[v]
+		}
+	}
+	return mb, nil
+}
+
+// sampleLayer builds one block: for each dst in frontier, sample up to
+// fanout in-neighbors.
+func (s *Sampler) sampleLayer(frontier []int32, fanout int, rng *tensor.RNG) *Block {
+	dst := frontier
+	src := append([]int32(nil), dst...)
+	local := make(map[int32]int32, len(dst)*2)
+	for i, v := range dst {
+		local[v] = int32(i)
+	}
+	rowPtr := make([]int32, len(dst)+1)
+	col := make([]int32, 0, len(dst)*fanout)
+	scratch := make([]int32, fanout)
+	for i, v := range dst {
+		nbrs := s.G.Neighbors(v)
+		chosen := sampleWithoutReplacement(nbrs, fanout, scratch, rng)
+		for _, u := range chosen {
+			li, ok := local[u]
+			if !ok {
+				li = int32(len(src))
+				src = append(src, u)
+				local[u] = li
+			}
+			col = append(col, li)
+		}
+		rowPtr[i+1] = int32(len(col))
+	}
+	return &Block{Src: src, Dst: dst, RowPtr: rowPtr, Col: col}
+}
+
+// sampleWithoutReplacement returns min(len(nbrs), k) distinct elements of
+// nbrs chosen uniformly. When len(nbrs) > k it uses reservoir sampling into
+// scratch (len ≥ k) to avoid copying the full neighbor list.
+func sampleWithoutReplacement(nbrs []int32, k int, scratch []int32, rng *tensor.RNG) []int32 {
+	if len(nbrs) <= k {
+		return nbrs
+	}
+	res := scratch[:k]
+	copy(res, nbrs[:k])
+	for i := k; i < len(nbrs); i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			res[j] = nbrs[i]
+		}
+	}
+	return res
+}
+
+// Batcher iterates epochs over a training set in shuffled fixed-size batches
+// of target vertices (the last short batch of an epoch is kept).
+type Batcher struct {
+	trainIdx  []int32
+	batchSize int
+	rng       *tensor.RNG
+	order     []int32
+	cursor    int
+}
+
+// NewBatcher creates a batcher over trainIdx with the given batch size.
+func NewBatcher(trainIdx []int32, batchSize int, rng *tensor.RNG) (*Batcher, error) {
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("sampler: empty training set")
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("sampler: batch size %d", batchSize)
+	}
+	b := &Batcher{trainIdx: trainIdx, batchSize: batchSize, rng: rng}
+	b.reshuffle()
+	return b, nil
+}
+
+func (b *Batcher) reshuffle() {
+	perm := b.rng.Perm(len(b.trainIdx))
+	b.order = make([]int32, len(b.trainIdx))
+	for i, p := range perm {
+		b.order[i] = b.trainIdx[p]
+	}
+	b.cursor = 0
+}
+
+// BatchesPerEpoch returns the number of batches in one epoch.
+func (b *Batcher) BatchesPerEpoch() int {
+	return (len(b.trainIdx) + b.batchSize - 1) / b.batchSize
+}
+
+// Next returns the next batch of targets, reshuffling at epoch boundaries.
+// The returned slice must not be mutated.
+func (b *Batcher) Next() []int32 {
+	if b.cursor >= len(b.order) {
+		b.reshuffle()
+	}
+	end := b.cursor + b.batchSize
+	if end > len(b.order) {
+		end = len(b.order)
+	}
+	out := b.order[b.cursor:end]
+	b.cursor = end
+	return out
+}
+
+// ExpectedSizes estimates E[|V_l|] and E[|E_l|] for a full-scale dataset
+// spec without materialising it, assuming batchSize targets, the given
+// fanouts, and average degree Ē = E/V. Duplicate-vertex collapse is modeled
+// with the birthday-collision expectation: k uniform draws from N vertices
+// yield N(1 − (1−1/N)^k) distinct. Layer index 0 is the input-most layer, as
+// in MiniBatch.Blocks. vl[l] is |Dst| of block l... vl has length L+1 with
+// vl[L] = batchSize (targets) and vl[0] = |V0| (input nodes).
+func ExpectedSizes(numVertices, avgDegree float64, batchSize int, fanouts []int) (vl []float64, el []float64) {
+	L := len(fanouts)
+	vl = make([]float64, L+1)
+	el = make([]float64, L)
+	vl[L] = math.Min(float64(batchSize), numVertices) // targets are distinct vertices
+	for l := L - 1; l >= 0; l-- {
+		f := math.Min(float64(fanouts[l]), avgDegree)
+		el[l] = vl[l+1] * f
+		draws := el[l] + vl[l+1] // sampled sources plus the dst prefix
+		vl[l] = distinctOf(draws, numVertices)
+	}
+	return vl, el
+}
+
+// distinctOf returns E[#distinct] of k uniform draws from n items.
+func distinctOf(k, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	d := n * (1 - math.Pow(1-1/n, k))
+	return math.Min(d, k)
+}

@@ -1,0 +1,304 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes C = A·B. A is m×k, B is k×n, C is m×n. C must be
+// pre-allocated; it is overwritten. The kernel is row-parallel with an
+// inner loop ordered (i, k, j) for sequential access to B and C.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for kk, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT computes C = A·Bᵀ. A is m×k, B is n×k, C is m×n.
+func MatMulT(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)T -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	k := a.Cols
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for t, av := range ai {
+					sum += av * bj[t]
+				}
+				ci[j] = sum
+			}
+		}
+	})
+}
+
+// TMatMul computes C = Aᵀ·B. A is k×m, B is k×n, C is m×n. Used for weight
+// gradients (C = Xᵀ·dY). Parallelised over rows of C (columns of A).
+func TMatMul(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMatMul shapes (%dx%d)T · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	parallelRows(c.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			for kk := 0; kk < a.Rows; kk++ {
+				av := a.Data[kk*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// Transpose returns Aᵀ as a new matrix.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add computes dst = a + b element-wise. Shapes must match.
+func Add(dst, a, b *Matrix) {
+	checkSameShape("Add", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a − b element-wise.
+func Sub(dst, a, b *Matrix) {
+	checkSameShape("Sub", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func Scale(m *Matrix, s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Axpy computes y += alpha·x element-wise (shapes must match).
+func Axpy(y *Matrix, alpha float32, x *Matrix) {
+	if y.Rows != x.Rows || y.Cols != x.Cols {
+		panic("tensor: Axpy shape mismatch")
+	}
+	for i, v := range x.Data {
+		y.Data[i] += alpha * v
+	}
+}
+
+// AddBias adds a 1×n bias row to every row of m (m is r×n).
+func AddBias(m *Matrix, bias *Matrix) {
+	if bias.Rows != 1 || bias.Cols != m.Cols {
+		panic("tensor: AddBias wants 1xN bias matching m.Cols")
+	}
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j, bv := range bias.Data {
+				row[j] += bv
+			}
+		}
+	})
+}
+
+// BiasGrad accumulates the column sums of dY into a 1×n gradient.
+func BiasGrad(grad, dy *Matrix) {
+	if grad.Rows != 1 || grad.Cols != dy.Cols {
+		panic("tensor: BiasGrad shape mismatch")
+	}
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j, v := range row {
+			grad.Data[j] += v
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place and returns a mask matrix with 1 where the
+// input was positive (for the backward pass).
+func ReLU(m *Matrix) *Matrix {
+	mask := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// ReLUBackward multiplies dy by the ReLU mask in place.
+func ReLUBackward(dy, mask *Matrix) {
+	if dy.Rows != mask.Rows || dy.Cols != mask.Cols {
+		panic("tensor: ReLUBackward shape mismatch")
+	}
+	for i := range dy.Data {
+		dy.Data[i] *= mask.Data[i]
+	}
+}
+
+// SoftmaxCrossEntropy computes mean softmax cross-entropy loss over rows of
+// logits against integer labels, and writes dLogits = (softmax − onehot)/rows
+// into grad (same shape as logits, pre-allocated). It returns the loss and
+// the number of correct argmax predictions.
+func SoftmaxCrossEntropy(grad, logits *Matrix, labels []int32) (loss float64, correct int) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("tensor: SoftmaxCrossEntropy %d labels for %d rows", len(labels), logits.Rows))
+	}
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic("tensor: SoftmaxCrossEntropy grad shape mismatch")
+	}
+	n := logits.Rows
+	if n == 0 {
+		return 0, 0
+	}
+	inv := float32(1.0 / float64(n))
+	var totalLoss float64
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		grow := grad.Row(i)
+		// Numerically stable softmax.
+		maxv := row[0]
+		argmax := 0
+		for j, v := range row {
+			if v > maxv {
+				maxv = v
+				argmax = j
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		lbl := int(labels[i])
+		if lbl < 0 || lbl >= logits.Cols {
+			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", lbl, logits.Cols))
+		}
+		totalLoss += logSum - float64(row[lbl]-maxv)
+		if argmax == lbl {
+			correct++
+		}
+		for j, v := range row {
+			p := float32(math.Exp(float64(v-maxv)) / sum)
+			if j == lbl {
+				p -= 1
+			}
+			grow[j] = p * inv
+		}
+	}
+	return totalLoss / float64(n), correct
+}
+
+// ConcatCols writes [a | b] into dst. dst must be r×(a.Cols+b.Cols).
+func ConcatCols(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic("tensor: ConcatCols shape mismatch")
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(dst.Row(i)[:a.Cols], a.Row(i))
+			copy(dst.Row(i)[a.Cols:], b.Row(i))
+		}
+	})
+}
+
+// SplitCols splits dst = [a | b] back into its halves (inverse of ConcatCols),
+// copying columns [0,a.Cols) of src into a and the rest into b.
+func SplitCols(a, b, src *Matrix) {
+	if a.Rows != b.Rows || src.Rows != a.Rows || src.Cols != a.Cols+b.Cols {
+		panic("tensor: SplitCols shape mismatch")
+	}
+	for i := 0; i < src.Rows; i++ {
+		copy(a.Row(i), src.Row(i)[:a.Cols])
+		copy(b.Row(i), src.Row(i)[a.Cols:])
+	}
+}
+
+// GatherRows copies rows idx of src into dst (dst is len(idx)×src.Cols).
+func GatherRows(dst, src *Matrix, idx []int32) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: GatherRows shape mismatch")
+	}
+	parallelRows(len(idx), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(dst.Row(i), src.Row(int(idx[i])))
+		}
+	})
+}
+
+// ScatterAddRows adds each row i of src into row idx[i] of dst.
+func ScatterAddRows(dst, src *Matrix, idx []int32) {
+	if src.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for i, to := range idx {
+		drow := dst.Row(int(to))
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func FrobeniusNorm(m *Matrix) float64 {
+	var sum float64
+	for _, v := range m.Data {
+		sum += float64(v) * float64(v)
+	}
+	return math.Sqrt(sum)
+}
+
+func checkSameShape(op string, ms ...*Matrix) {
+	r, c := ms[0].Rows, ms[0].Cols
+	for _, m := range ms[1:] {
+		if m.Rows != r || m.Cols != c {
+			panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, r, c, m.Rows, m.Cols))
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package trace records training-run telemetry — per-iteration stage times
+// and per-epoch statistics — and renders it as CSV, so runs of the runtime
+// or the simulators can be plotted and compared offline (the raw material
+// behind the paper's figures).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/perfmodel"
+)
+
+// StageSample is one iteration's measured stage times.
+type StageSample struct {
+	Iter   int
+	Stages perfmodel.StageTimes
+}
+
+// EpochSample is one epoch's summary.
+type EpochSample struct {
+	Epoch      int
+	Loss       float64
+	Accuracy   float64
+	VirtualSec float64
+	MTEPS      float64
+	CPUBatch   int
+	AccelBatch int // share of the first accelerator (they stay balanced)
+}
+
+// Recorder accumulates samples. The zero value is ready to use.
+type Recorder struct {
+	stages []StageSample
+	epochs []EpochSample
+}
+
+// RecordStages appends an iteration's stage times.
+func (r *Recorder) RecordStages(iter int, st perfmodel.StageTimes) {
+	r.stages = append(r.stages, StageSample{Iter: iter, Stages: st})
+}
+
+// RecordEpoch appends an epoch summary.
+func (r *Recorder) RecordEpoch(s EpochSample) { r.epochs = append(r.epochs, s) }
+
+// Stages returns the recorded iteration samples.
+func (r *Recorder) Stages() []StageSample { return r.stages }
+
+// Epochs returns the recorded epoch samples.
+func (r *Recorder) Epochs() []EpochSample { return r.epochs }
+
+// WriteStagesCSV writes the per-iteration stage-time series.
+func (r *Recorder) WriteStagesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "iter,samp_cpu,samp_accel,load,trans,train_cpu,train_accel,sync"); err != nil {
+		return err
+	}
+	for _, s := range r.stages {
+		if _, err := fmt.Fprintf(w, "%d,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f\n",
+			s.Iter, s.Stages.SampCPU, s.Stages.SampAccel, s.Stages.Load,
+			s.Stages.Trans, s.Stages.TrainCPU, s.Stages.TrainAcc, s.Stages.Sync); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEpochsCSV writes the per-epoch summary series.
+func (r *Recorder) WriteEpochsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "epoch,loss,accuracy,virtual_sec,mteps,cpu_batch,accel_batch"); err != nil {
+		return err
+	}
+	for _, e := range r.epochs {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.4f,%.9f,%.2f,%d,%d\n",
+			e.Epoch, e.Loss, e.Accuracy, e.VirtualSec, e.MTEPS, e.CPUBatch, e.AccelBatch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Adjust implements pipesim.Controller pass-through recording: wrap another
+// controller (or none) and capture the measured stage times it sees.
+type Adjust struct {
+	Rec  *Recorder
+	Next interface {
+		Adjust(int, perfmodel.StageTimes, perfmodel.Assignment) perfmodel.Assignment
+	}
+}
+
+// Adjust records and delegates.
+func (a *Adjust) Adjust(iter int, st perfmodel.StageTimes, as perfmodel.Assignment) perfmodel.Assignment {
+	a.Rec.RecordStages(iter, st)
+	if a.Next != nil {
+		return a.Next.Adjust(iter, st, as)
+	}
+	return as
+}
+
+// Summary renders a short human-readable digest of the recorded epochs.
+func (r *Recorder) Summary() string {
+	if len(r.epochs) == 0 {
+		return "trace: no epochs recorded"
+	}
+	first, last := r.epochs[0], r.epochs[len(r.epochs)-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "epochs %d..%d: loss %.4f -> %.4f, acc %.3f -> %.3f",
+		first.Epoch, last.Epoch, first.Loss, last.Loss, first.Accuracy, last.Accuracy)
+	return b.String()
+}
