@@ -58,6 +58,10 @@ func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
 // BenchmarkFig11 regenerates the optimization ablation.
 func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
 
+// BenchmarkExtMultiNode runs the executed multi-node strong-scaling study:
+// 1–4 sharded engines with real ring-all-reduce gradient exchange.
+func BenchmarkExtMultiNode(b *testing.B) { benchExperiment(b, "ext-multinode") }
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

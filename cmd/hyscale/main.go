@@ -3,10 +3,17 @@
 // to fit in memory. It reports per-epoch loss, accuracy, virtual-clock epoch
 // time and throughput, and the task mapping the DRM engine converged to.
 //
+// With -nodes N > 1 it executes the multi-node extension (paper §VIII
+// future work): the graph is partitioned across N sharded engine replicas
+// (each with its own DRM instance) that exchange real gradients through a
+// ring all-reduce, with remote-feature and all-reduce time charged on the
+// virtual clock; the run ends by comparing the executed slowdown against
+// the analytic cluster model's prediction.
+//
 // Usage:
 //
 //	hyscale -dataset ogbn-products -model sage -platform cpu-fpga \
-//	        -scale 2000 -epochs 5 -batch 256
+//	        -scale 2000 -epochs 5 -batch 256 [-nodes 4]
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/gnn"
@@ -37,18 +45,19 @@ func main() {
 	noDRM := flag.Bool("no-drm", false, "disable dynamic resource management")
 	quantize := flag.Bool("quantize", false, "int8-quantize features on the PCIe link (§VIII extension)")
 	saint := flag.Bool("saint", false, "use GraphSAINT random-walk sampling instead of neighbor sampling")
+	nodes := flag.Int("nodes", 1, "execute a multi-node run with this many partitioned shards")
 	traceOut := flag.String("trace", "", "write per-epoch CSV telemetry to this file")
 	flag.Parse()
 
 	if err := run(*dataset, *modelName, *platform, *scale, *epochs, *batch,
-		float32(*lr), *seed, !*noHybrid, !*noTFP, !*noDRM, *quantize, *saint, *traceOut); err != nil {
+		float32(*lr), *seed, !*noHybrid, !*noTFP, !*noDRM, *quantize, *saint, *nodes, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hyscale:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset, modelName, platform string, scale int64, epochs, batch int,
-	lr float32, seed uint64, hybrid, tfp, drmOn, quantize, saint bool, traceOut string) error {
+	lr float32, seed uint64, hybrid, tfp, drmOn, quantize, saint bool, nodes int, traceOut string) error {
 	spec, err := datagen.SpecByName(dataset)
 	if err != nil {
 		return err
@@ -79,7 +88,7 @@ func run(dataset, modelName, platform string, scale int64, epochs, batch int,
 	if err != nil {
 		return err
 	}
-	engine, err := core.NewEngine(core.Config{
+	coreCfg := core.Config{
 		Plat:             plat,
 		Data:             ds,
 		Model:            gnn.Config{Kind: kind, Dims: scaled.FeatDims},
@@ -92,7 +101,17 @@ func run(dataset, modelName, platform string, scale int64, epochs, batch int,
 		QuantizeTransfer: quantize,
 		UseSaint:         saint,
 		Seed:             seed,
-	})
+	}
+	if nodes < 1 {
+		return fmt.Errorf("-nodes %d: need at least 1", nodes)
+	}
+	if nodes > 1 {
+		if epochs < 1 {
+			return fmt.Errorf("-epochs %d: multi-node needs at least 1", epochs)
+		}
+		return runMultiNode(coreCfg, nodes, epochs, traceOut)
+	}
+	engine, err := core.NewEngine(coreCfg)
 	if err != nil {
 		return err
 	}
@@ -136,5 +155,92 @@ func run(dataset, modelName, platform string, scale int64, epochs, batch int,
 		return fmt.Errorf("replica divergence %g — synchronous SGD violated", d)
 	}
 	fmt.Println("Replica consistency check: all trainers hold identical weights.")
+	return nil
+}
+
+// runMultiNode executes the sharded multi-node protocol and closes with the
+// executed-vs-analytic slowdown comparison.
+func runMultiNode(coreCfg core.Config, nodes, epochs int, traceOut string) error {
+	// Single-node baseline (one fill epoch + one steady-state epoch) for the
+	// slowdown comparison.
+	base, err := core.NewEngine(coreCfg)
+	if err != nil {
+		return err
+	}
+	var basePerIter float64
+	for i := 0; i < 2; i++ {
+		st, err := base.RunEpoch()
+		if err != nil {
+			return err
+		}
+		basePerIter = st.VirtualSec / float64(st.Iterations)
+	}
+
+	net := hw.Ethernet100G()
+	m, err := cluster.NewMultiNode(cluster.MultiNodeConfig{
+		Nodes: nodes, Net: net, Node: coreCfg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Training on %d nodes over %s (edge cut %.2f, balance %.2f, %d train vertices/node)\n\n",
+		nodes, net.Name, m.EdgeCut(), m.Partition().Balance(), m.TrainPerNode())
+	fmt.Printf("%-6s %-10s %-10s %-14s %-10s %-12s %-12s\n",
+		"epoch", "loss", "accuracy", "virtual-epoch", "MTEPS", "net-fetch", "net-sync")
+	var rec trace.Recorder
+	var last *cluster.MultiNodeStats
+	for ep := 0; ep < epochs; ep++ {
+		st, err := m.RunEpoch()
+		if err != nil {
+			return err
+		}
+		last = st
+		fmt.Printf("%-6d %-10.4f %-10.3f %-14s %-10.1f %-12s %-12s\n",
+			st.Epoch, st.Loss, st.Accuracy, fmt.Sprintf("%.4fs", st.VirtualSec),
+			st.MTEPS, fmt.Sprintf("%.4fs", st.NetFetchSec), fmt.Sprintf("%.4fs", st.NetSyncSec))
+		a := m.Node(0).Assignment()
+		accelShare := 0
+		if len(a.AccelBatch) > 0 {
+			accelShare = a.AccelBatch[0]
+		}
+		rec.RecordEpoch(trace.EpochSample{
+			Epoch: st.Epoch, Loss: st.Loss, Accuracy: st.Accuracy,
+			VirtualSec: st.VirtualSec, MTEPS: st.MTEPS,
+			CPUBatch: a.CPUBatch, AccelBatch: accelShare,
+		})
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteEpochsCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", traceOut)
+	}
+	for i := 0; i < nodes; i++ {
+		a := m.Node(i).Assignment()
+		fmt.Printf("\nnode %d task mapping: CPU batch %d, accel batches %v (threads %d/%d/%d)",
+			i, a.CPUBatch, a.AccelBatch, a.SampThreads, a.LoadThreads, a.TrainThreads)
+	}
+	fmt.Println()
+	if d := m.ReplicasInSync(); d != 0 {
+		return fmt.Errorf("fleet divergence %g — cross-node synchronous SGD violated", d)
+	}
+	fmt.Println("Fleet consistency check: all shards hold identical weights after the ring all-reduce.")
+
+	execSlow := (last.VirtualSec / float64(last.Iterations)) / basePerIter
+	pred, err := cluster.EpochTime(m.Analytic())
+	if err != nil {
+		return err
+	}
+	predSlow := cluster.PredictedSlowdown(pred, basePerIter)
+	fmt.Printf("\nMulti-node erosion: executed %.3fx slower per iteration; analytic model predicts %.3fx\n",
+		execSlow, predSlow)
+	fmt.Printf("  per-iteration network: fetch %.3gs executed / %.3gs analytic, all-reduce %.3gs / %.3gs\n",
+		last.NetFetchSec/float64(last.Iterations), pred.RemoteFetch,
+		last.NetSyncSec/float64(last.Iterations), pred.GlobalSync)
 	return nil
 }

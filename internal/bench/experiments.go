@@ -360,7 +360,11 @@ func All(seed uint64) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec}, nil
+	em, err := ExtMultiNodeExec(seed)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em}, nil
 }
 
 // ByName returns a single experiment's table by its short identifier.
@@ -388,6 +392,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtQuant(seed)
 	case "ext-cluster":
 		return ExtCluster()
+	case "ext-multinode":
+		return ExtMultiNodeExec(seed)
 	case "throughput":
 		return Throughput(seed)
 	default:
@@ -399,5 +405,6 @@ func ByName(name string, seed uint64) (*Table, error) {
 // order, then the extensions.
 func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
-		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster"}
+		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
+		"ext-multinode"}
 }

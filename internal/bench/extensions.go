@@ -1,13 +1,17 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/drm"
 	"repro/internal/gnn"
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
 	"repro/internal/pipesim"
+	"repro/internal/tensor"
 )
 
 // ExtQuant evaluates the paper's §VIII extension — int8 feature
@@ -126,6 +130,79 @@ func ExtCluster() (*Table, error) {
 				Num(speedup/float64(counts[i])*100, "%.0f%%"),
 				Num(netShare*100, "%.0f%%"))
 		}
+	}
+	return t, nil
+}
+
+// ExtMultiNodeExec executes the multi-node extension rather than pricing it:
+// a products-shaped instance is partitioned across 1–4 sharded engines that
+// train with real gradient exchange (ring all-reduce over 100 GbE), and each
+// row reports the executed strong-scaling point next to the analytic
+// model's predicted per-iteration slowdown — the validation ExtCluster's
+// purely analytic table cannot provide.
+func ExtMultiNodeExec(seed uint64) (*Table, error) {
+	t := &Table{
+		Title:  "Extension: executed multi-node scaling (sharded engines, ring all-reduce, 100GbE)",
+		Header: []string{"Nodes", "Cut", "Epoch(s)", "Speedup", "Net/iter(s)", "Exec slowdown", "Analytic slowdown"},
+	}
+	spec := datagen.Spec{Name: "products-bench", NumVertices: 3000, NumEdges: 24000,
+		FeatDims: []int{100, 64, 16}, TrainNodes: 1500}
+	ds, err := datagen.Materialize(spec, 0.5, tensor.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	plat := hw.CPUFPGAPlatform()
+	plat.Accels = plat.Accels[:2]
+	coreCfg := core.Config{
+		Plat: plat, Data: ds,
+		Model:     gnn.Config{Kind: gnn.SAGE, Dims: spec.FeatDims},
+		LR:        0.2,
+		BatchSize: 64,
+		Fanouts:   []int{10, 5},
+		Hybrid:    true, TFP: true, DRM: true,
+		Seed: seed,
+	}
+	type point struct {
+		perIter, epochSec, netPerIter, cut float64
+		analytic                           cluster.Config
+	}
+	var pts []point
+	for _, n := range []int{1, 2, 4} {
+		m, err := cluster.NewMultiNode(cluster.MultiNodeConfig{
+			Nodes: n, Net: hw.Ethernet100G(), Node: coreCfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var st *cluster.MultiNodeStats
+		for ep := 0; ep < 2; ep++ { // fill + steady state
+			if st, err = m.RunEpoch(); err != nil {
+				return nil, err
+			}
+		}
+		if d := m.ReplicasInSync(); d != 0 {
+			return nil, fmt.Errorf("bench: %d-node fleet diverged by %g", n, d)
+		}
+		pts = append(pts, point{
+			perIter:    st.VirtualSec / float64(st.Iterations),
+			epochSec:   st.VirtualSec,
+			netPerIter: (st.NetFetchSec + st.NetSyncSec) / float64(st.Iterations),
+			cut:        m.EdgeCut(),
+			analytic:   m.Analytic(),
+		})
+	}
+	base := pts[0]
+	for i, n := range []int{1, 2, 4} {
+		p := pts[i]
+		pred, err := cluster.EpochTime(p.analytic)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(Num(float64(n), "%.0f"), Num(p.cut, "%.2f"),
+			Num(p.epochSec, "%.4f"), Num(base.epochSec/p.epochSec, "%.2fx"),
+			Num(p.netPerIter, "%.2g"),
+			Num(p.perIter/base.perIter, "%.3fx"),
+			Num(cluster.PredictedSlowdown(pred, base.perIter), "%.3fx"))
 	}
 	return t, nil
 }

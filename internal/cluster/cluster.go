@@ -88,16 +88,15 @@ func EpochTime(cfg Config) (*Breakdown, error) {
 			}
 		}
 		frac := cfg.CutFraction * (1 - 1/float64(cfg.Nodes))
-		bytes := rows * frac * float64(cfg.Work.Spec.FeatDims[0]) * 4
-		remote = cfg.Net.TransferSec(bytes)
+		// The NIC carries the same wire format as PCIe (int8 when the
+		// quantized-transfer extension is on); RemoteFetchSec defaults to
+		// float32 when the workload leaves TransferBytesPerFeat zero.
+		remote = perfmodel.RemoteFetchSec(cfg.Net, rows*frac,
+			cfg.Work.Spec.FeatDims[0], cfg.Work.TransferBytesPerFeat)
 	}
 
 	// Global sync: ring all-reduce moves 2×(n−1)/n of the model per node.
-	var gsync float64
-	if cfg.Nodes > 1 {
-		modelBytes := modelBytes(cfg.Work)
-		gsync = cfg.Net.TransferSec(2 * modelBytes * float64(cfg.Nodes-1) / float64(cfg.Nodes))
-	}
+	gsync := perfmodel.RingAllReduceSec(cfg.Net, modelBytes(cfg.Work), cfg.Nodes)
 
 	iter := math.Max(local, remote) + gsync
 	totalBatch := float64(assign.TotalBatch() * cfg.Nodes)
@@ -122,6 +121,21 @@ func modelBytes(w perfmodel.Workload) float64 {
 		params += fin*float64(dims[l+1]) + float64(dims[l+1])
 	}
 	return params * 4
+}
+
+// PredictedSlowdown converts an analytic Breakdown into the multi-node
+// slowdown it implies over a given single-node per-iteration time: remote
+// fetches overlap the local pipeline (Eq. 6 extended by one stage) and the
+// global all-reduce is serial. The local baseline is supplied by the caller
+// because the analytic local model deliberately excludes the runtime
+// overheads (framework, kernel launch, flush) the executing engine charges —
+// the §VI-C error sources — while the *network* components are directly
+// comparable between prediction and execution.
+func PredictedSlowdown(b *Breakdown, localIterSec float64) float64 {
+	if localIterSec <= 0 {
+		return math.NaN()
+	}
+	return (math.Max(localIterSec, b.RemoteFetch) + b.GlobalSync) / localIterSec
 }
 
 // Scaling sweeps node counts and returns epoch times, for the

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/gnn"
+	"repro/internal/hw"
+)
+
+// ring is the executed counterpart of perfmodel.RingAllReduceSec: a chunked
+// ring all-reduce over in-process channels. Each node goroutine calls
+// allReduce once per training iteration; the 2·(n−1) message steps move real
+// gradient chunks between neighbours, and each step charges the inter-node
+// link's transfer time on the caller's virtual clock.
+type ring struct {
+	n     int
+	link  hw.Link
+	inbox []chan []float32 // inbox[r] receives from rank (r−1+n)%n
+
+	// abort unblocks every rank when one node dies mid-epoch: without it a
+	// single failure would leave the survivors waiting forever on a message
+	// that never comes. A failed ring stays failed — the fleet is done.
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+// errRingAborted surfaces on the surviving ranks after fail().
+var errRingAborted = errors.New("cluster: ring all-reduce aborted (a peer node failed)")
+
+func newRing(n int, link hw.Link) *ring {
+	r := &ring{n: n, link: link, inbox: make([]chan []float32, n),
+		abort: make(chan struct{})}
+	for i := range r.inbox {
+		r.inbox[i] = make(chan []float32, 1)
+	}
+	return r
+}
+
+// fail permanently aborts the ring, releasing every blocked rank.
+func (r *ring) fail() { r.abortOnce.Do(func() { close(r.abort) }) }
+
+// chunkBounds returns the [lo, hi) range of chunk c when a vector of length
+// m is split into n contiguous chunks.
+func chunkBounds(m, n, c int) (int, int) {
+	return c * m / n, (c + 1) * m / n
+}
+
+func mod(a, n int) int { return ((a % n) + n) % n }
+
+// allReduce averages vec element-wise across all n ranks, in place, and
+// returns the virtual network seconds this rank spent. All n ranks must call
+// it concurrently, once per round, with equal-length vectors.
+//
+// Scatter-reduce: at step s, rank r sends chunk (r−s) mod n to rank r+1 and
+// folds the received chunk (r−s−1) mod n into its own copy; after n−1 steps
+// rank r owns the fully reduced chunk (r+1) mod n. All-gather: n−1 more
+// steps circulate the reduced chunks until every rank holds all of them.
+func (r *ring) allReduce(rank int, vec []float32) (float64, error) {
+	n := r.n
+	if n <= 1 {
+		return 0, nil
+	}
+	next := r.inbox[mod(rank+1, n)]
+	self := r.inbox[rank]
+	var sec float64
+	send := func(c int) error {
+		lo, hi := chunkBounds(len(vec), n, c)
+		msg := append([]float32(nil), vec[lo:hi]...)
+		select {
+		case next <- msg:
+		case <-r.abort:
+			return errRingAborted
+		}
+		sec += r.link.TransferSec(float64(len(msg)) * 4)
+		return nil
+	}
+	recv := func() ([]float32, error) {
+		select {
+		case got := <-self:
+			return got, nil
+		case <-r.abort:
+			return nil, errRingAborted
+		}
+	}
+	for step := 0; step < n-1; step++ { // scatter-reduce
+		if err := send(mod(rank-step, n)); err != nil {
+			return sec, err
+		}
+		got, err := recv()
+		if err != nil {
+			return sec, err
+		}
+		lo, _ := chunkBounds(len(vec), n, mod(rank-step-1, n))
+		for i, v := range got {
+			vec[lo+i] += v
+		}
+	}
+	for step := 0; step < n-1; step++ { // all-gather
+		if err := send(mod(rank-step+1, n)); err != nil {
+			return sec, err
+		}
+		got, err := recv()
+		if err != nil {
+			return sec, err
+		}
+		lo, _ := chunkBounds(len(vec), n, mod(rank-step, n))
+		copy(vec[lo:], got)
+	}
+	inv := 1 / float32(n)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return sec, nil
+}
+
+// flattenGrads copies a gradient set into one contiguous vector (the wire
+// format of the ring).
+func flattenGrads(g *gnn.Gradients) []float32 {
+	size := 0
+	for i := range g.Weights {
+		size += len(g.Weights[i].Data) + len(g.Biases[i].Data)
+	}
+	vec := make([]float32, 0, size)
+	for i := range g.Weights {
+		vec = append(vec, g.Weights[i].Data...)
+		vec = append(vec, g.Biases[i].Data...)
+	}
+	return vec
+}
+
+// unflattenGrads writes a flat vector back into a gradient set of the same
+// shape flattenGrads read from.
+func unflattenGrads(vec []float32, g *gnn.Gradients) {
+	cursor := 0
+	for i := range g.Weights {
+		cursor += copy(g.Weights[i].Data, vec[cursor:])
+		cursor += copy(g.Biases[i].Data, vec[cursor:])
+	}
+}
+
+// nodeSync is the core.GradientSync of one shard: it bridges the node's
+// local gradient average into the cross-node ring.
+type nodeSync struct {
+	rank int
+	ring *ring
+}
+
+func (s *nodeSync) Reduce(local *gnn.Gradients) (*gnn.Gradients, float64, error) {
+	vec := flattenGrads(local)
+	sec, err := s.ring.allReduce(s.rank, vec)
+	if err != nil {
+		return nil, sec, err
+	}
+	unflattenGrads(vec, local)
+	return local, sec, nil
+}

@@ -17,22 +17,25 @@
 // The Dynamic Resource Management engine (internal/drm) observes the
 // virtual stage times each iteration and re-balances work and threads,
 // exactly as in paper Algorithm 1.
+//
+// The runtime is layered so one engine can drive one node or one shard of a
+// multi-node fleet (internal/cluster.MultiNode):
+//
+//   - engine.go — construction, validation, replica fleet, accessors;
+//   - clock.go — the Clock interface and the max-plus PipelineClock;
+//   - stages.go — the StageExecutor interface and the hybrid pipeline
+//     executor (sampling, loading/transfer, concurrent trainers, DONE/ACK);
+//   - sync.go — the GradientSync boundary between the local all-reduce and
+//     the globally applied gradient, and the FeatureLocator that prices
+//     remote feature rows;
+//   - epoch.go — epoch orchestration tying the layers together.
 package core
 
 import (
-	"fmt"
-	"io"
-	"math"
-	"sync"
-
 	"repro/internal/datagen"
-	"repro/internal/drm"
 	"repro/internal/gnn"
 	"repro/internal/hw"
-	"repro/internal/optim"
 	"repro/internal/perfmodel"
-	"repro/internal/sampler"
-	"repro/internal/tensor"
 )
 
 // Config assembles a training run.
@@ -64,7 +67,20 @@ type Config struct {
 	QuantizeTransfer bool
 
 	Seed uint64
+
+	// Sync bridges the locally averaged gradient to the globally applied
+	// one. Nil selects the single-node identity sync; the multi-node
+	// coordinator injects a cross-node ring all-reduce here.
+	Sync GradientSync
+	// Locator tells the runtime which input feature rows are remote and
+	// what fetching them costs on the virtual clock. Nil means every
+	// feature is local (single-node operation).
+	Locator FeatureLocator
 }
+
+// networked reports whether the engine drives one shard of a multi-node run
+// and therefore carries network stages on its pipeline clock.
+func (c Config) networked() bool { return c.Sync != nil || c.Locator != nil }
 
 // EpochStats reports one epoch of training.
 type EpochStats struct {
@@ -75,113 +91,13 @@ type EpochStats struct {
 	MTEPS      float64 // Eq. 5 on the virtual clock
 	Iterations int
 	Assignment perfmodel.Assignment
-}
 
-// Engine is the runtime.
-type Engine struct {
-	cfg      Config
-	pm       *perfmodel.Model
-	drmEng   *drm.Engine
-	smp      *sampler.Sampler
-	saint    *sampler.SaintSampler // non-nil when Config.UseSaint
-	batcher  *sampler.Batcher
-	replicas []*gnn.Model // replica 0 = CPU trainer, 1..n = accelerators
-	opts     []*optim.SGD
-	assign   perfmodel.Assignment
-	rng      *tensor.RNG
-	epoch    int
-
-	// prevDone carries the pipeline state (max-plus) across iterations.
-	prevDone []float64
-	clock    float64
-}
-
-// NewEngine validates the configuration and builds the runtime: one model
-// replica per trainer (identically initialised — synchronous SGD keeps them
-// in lock-step), the design-phase task mapping from the performance model,
-// and the DRM engine when enabled.
-func NewEngine(cfg Config) (*Engine, error) {
-	if cfg.Data == nil {
-		return nil, fmt.Errorf("core: nil dataset")
-	}
-	if cfg.LR <= 0 {
-		return nil, fmt.Errorf("core: non-positive learning rate %v", cfg.LR)
-	}
-	if cfg.BatchSize <= 0 {
-		return nil, fmt.Errorf("core: non-positive batch size %d", cfg.BatchSize)
-	}
-	if len(cfg.Model.Dims) < 2 {
-		return nil, fmt.Errorf("core: model needs at least 2 dims, got %v", cfg.Model.Dims)
-	}
-	if cfg.Data.Features.Cols != cfg.Model.Dims[0] {
-		return nil, fmt.Errorf("core: dataset features are %d-dim, model expects %d",
-			cfg.Data.Features.Cols, cfg.Model.Dims[0])
-	}
-	numClasses := cfg.Model.Dims[len(cfg.Model.Dims)-1]
-	for _, l := range cfg.Data.Labels {
-		if l < 0 || int(l) >= numClasses {
-			return nil, fmt.Errorf("core: label %d outside model's %d classes", l, numClasses)
-		}
-	}
-	work := perfmodel.Workload{
-		Spec: cfg.Data.Spec, Model: cfg.Model.Kind,
-		BatchSize: cfg.BatchSize, Fanouts: cfg.Fanouts,
-	}
-	if cfg.QuantizeTransfer {
-		work.TransferBytesPerFeat = 1
-	}
-	pm, err := perfmodel.New(cfg.Plat, work)
-	if err != nil {
-		return nil, err
-	}
-	rng := tensor.NewRNG(cfg.Seed)
-	smp, err := sampler.New(cfg.Data.Graph, cfg.Fanouts, cfg.Data.Labels)
-	if err != nil {
-		return nil, err
-	}
-	var saint *sampler.SaintSampler
-	if cfg.UseSaint {
-		walk := cfg.SaintWalkLen
-		if walk <= 0 {
-			walk = 3
-		}
-		saint, err = sampler.NewSaint(cfg.Data.Graph, cfg.BatchSize, walk,
-			len(cfg.Model.Dims)-1, cfg.Data.Labels)
-		if err != nil {
-			return nil, err
-		}
-	}
-	batcher, err := sampler.NewBatcher(cfg.Data.TrainIdx, effectiveTotalBatch(cfg), rng.Split())
-	if err != nil {
-		return nil, err
-	}
-	nTrainers := 1 + len(cfg.Plat.Accels) // CPU replica always exists; unused if !Hybrid
-	replicas := make([]*gnn.Model, nTrainers)
-	opts := make([]*optim.SGD, nTrainers)
-	initRNG := rng.Split()
-	m0, err := gnn.NewModel(cfg.Model, initRNG)
-	if err != nil {
-		return nil, err
-	}
-	for i := range replicas {
-		replicas[i] = &gnn.Model{Cfg: cfg.Model, Params: m0.Params.Clone()}
-		opt, err := optim.NewSGD(cfg.LR, cfg.Momentum)
-		if err != nil {
-			return nil, err
-		}
-		opts[i] = opt
-	}
-	e := &Engine{
-		cfg: cfg, pm: pm, smp: smp, saint: saint, batcher: batcher,
-		replicas: replicas, opts: opts, rng: rng,
-		assign: pm.InitialAssignment(cfg.Hybrid),
-	}
-	if cfg.DRM {
-		e.drmEng = drm.New(cfg.Plat.TotalCPUCores())
-		e.drmEng.FusedPrefetch = !cfg.TFP
-	}
-	e.resetPipeline()
-	return e, nil
+	// Multi-node network charges accumulated over the epoch (zero on a
+	// single node): remote-feature-fetch and inter-node all-reduce virtual
+	// seconds, and the number of feature rows that crossed the NIC.
+	NetFetchSec float64
+	NetSyncSec  float64
+	RemoteRows  int
 }
 
 // effectiveTotalBatch is the global batch per iteration, clamped to the
@@ -196,342 +112,4 @@ func effectiveTotalBatch(cfg Config) int {
 		total = len(cfg.Data.TrainIdx)
 	}
 	return total
-}
-
-// Assignment returns the current task mapping (after any DRM moves).
-func (e *Engine) Assignment() perfmodel.Assignment { return e.assign.Clone() }
-
-// Params returns trainer 0's parameters (all replicas are identical; the
-// invariant is checked by ReplicasInSync).
-func (e *Engine) Params() *gnn.Parameters { return e.replicas[0].Params }
-
-// Evaluate runs exact full-graph inference with the trained weights and
-// returns accuracy over idx (pass nil to evaluate every non-training
-// vertex — the held-out set).
-func (e *Engine) Evaluate(idx []int32) (float64, error) {
-	if idx == nil {
-		inTrain := make(map[int32]bool, len(e.cfg.Data.TrainIdx))
-		for _, v := range e.cfg.Data.TrainIdx {
-			inTrain[v] = true
-		}
-		for v := int32(0); int(v) < e.cfg.Data.Graph.NumVertices; v++ {
-			if !inTrain[v] {
-				idx = append(idx, v)
-			}
-		}
-	}
-	return e.replicas[0].Evaluate(e.cfg.Data.Graph, e.cfg.Data.Features, e.cfg.Data.Labels, idx)
-}
-
-// SaveModel writes a checkpoint of the trained weights.
-func (e *Engine) SaveModel(w io.Writer) error { return e.replicas[0].Save(w) }
-
-// ReplicasInSync reports the maximum parameter divergence across replicas —
-// zero when the synchronous-SGD protocol is working.
-func (e *Engine) ReplicasInSync() float64 {
-	var worst float64
-	ref := e.replicas[0].Params
-	for _, r := range e.replicas[1:] {
-		for l := range ref.Weights {
-			if d := ref.Weights[l].MaxAbsDiff(r.Params.Weights[l]); d > worst {
-				worst = d
-			}
-			if d := ref.Biases[l].MaxAbsDiff(r.Params.Biases[l]); d > worst {
-				worst = d
-			}
-		}
-	}
-	return worst
-}
-
-func (e *Engine) resetPipeline() {
-	n := 3
-	if e.cfg.TFP {
-		n = 4
-	}
-	e.prevDone = make([]float64, n)
-	e.clock = 0
-}
-
-// deviceShare splits the global batch of targets according to the current
-// assignment. Index 0 is the CPU trainer (may be empty).
-func (e *Engine) deviceShare(targets []int32) [][]int32 {
-	total := e.assign.TotalBatch()
-	nAcc := len(e.cfg.Plat.Accels)
-	shares := make([][]int32, nAcc+1)
-	if total == 0 {
-		shares[0] = targets
-		return shares
-	}
-	cursor := 0
-	take := func(n int) []int32 {
-		if cursor+n > len(targets) {
-			n = len(targets) - cursor
-		}
-		s := targets[cursor : cursor+n]
-		cursor += n
-		return s
-	}
-	shares[0] = take(len(targets) * e.assign.CPUBatch / total)
-	for i := 0; i < nAcc; i++ {
-		if i == nAcc-1 {
-			shares[i+1] = targets[cursor:]
-			cursor = len(targets)
-		} else {
-			shares[i+1] = take(len(targets) * e.assign.AccelBatch[i] / total)
-		}
-	}
-	if nAcc == 0 {
-		shares[0] = targets
-	}
-	return shares
-}
-
-// trainerResult carries one trainer's output back to the coordinator.
-type trainerResult struct {
-	idx     int
-	avg     *gnn.Gradients // broadcast result of the all-reduce
-	loss    float64
-	correct float64
-	targets int
-	propSec float64 // virtual propagation time on this device
-	err     error
-}
-
-// actualSizes converts a sampled mini-batch into perfmodel.Sizes.
-func actualSizes(mb *sampler.MiniBatch) perfmodel.Sizes {
-	L := len(mb.Blocks)
-	s := perfmodel.Sizes{VL: make([]float64, L+1), EL: make([]float64, L)}
-	s.VL[0] = float64(len(mb.Blocks[0].Src))
-	for l := 0; l < L; l++ {
-		s.VL[l+1] = float64(len(mb.Blocks[l].Dst))
-		s.EL[l] = float64(mb.Blocks[l].NumEdges())
-	}
-	return s
-}
-
-// RunEpoch trains one full epoch and returns its statistics.
-func (e *Engine) RunEpoch() (*EpochStats, error) {
-	e.epoch++
-	iters := e.batcher.BatchesPerEpoch()
-	stats := &EpochStats{Epoch: e.epoch, Iterations: iters}
-	epochStart := e.clock
-	var lossSum, accSum float64
-	var targetSum int
-	var edgeSum float64
-
-	for it := 0; it < iters; it++ {
-		targets := e.batcher.Next()
-		shares := e.deviceShare(targets)
-
-		// --- Stage 1: Mini-batch Sampling (real work + virtual charge).
-		batches := make([]*sampler.MiniBatch, len(shares))
-		var sampEdgesCPU, sampEdgesAccel float64
-		for i, share := range shares {
-			if len(share) == 0 {
-				continue
-			}
-			var mb *sampler.MiniBatch
-			var err error
-			if e.saint != nil {
-				// GraphSAINT: the share size becomes this trainer's root
-				// count; targets from the batcher only size the shares.
-				mb, err = e.saint.SampleN(len(share), e.rng)
-			} else {
-				mb, err = e.smp.Sample(share, e.rng)
-			}
-			if err != nil {
-				return nil, err
-			}
-			batches[i] = mb
-			edges := float64(mb.EdgesTraversed())
-			edgeSum += edges
-			if i > 0 && e.assign.AccelSampleFrac > 0 {
-				sampEdgesAccel += edges * e.assign.AccelSampleFrac
-				sampEdgesCPU += edges * (1 - e.assign.AccelSampleFrac)
-			} else {
-				sampEdgesCPU += edges
-			}
-		}
-		st := perfmodel.StageTimes{
-			SampCPU:   e.pm.SampleTimeCPUEdges(sampEdgesCPU, e.assign.SampThreads),
-			SampAccel: e.pm.SampleTimeAccelEdges(sampEdgesAccel / float64(max(1, len(e.cfg.Plat.Accels)))),
-			Sync:      e.pm.SyncTime(),
-		}
-
-		// --- Stage 2+3: Feature Loading and Data Transfer for accelerators.
-		feats := make([]*tensor.Matrix, len(shares))
-		var loadRows float64
-		for i, mb := range batches {
-			if mb == nil {
-				continue
-			}
-			x := tensor.New(len(mb.InputNodes()), e.cfg.Model.Dims[0])
-			tensor.GatherRows(x, e.cfg.Data.Features, mb.InputNodes())
-			feats[i] = x
-			if i > 0 { // accelerator share crosses DRAM + PCIe
-				if e.cfg.QuantizeTransfer {
-					tensor.QuantizeRoundTrip(x) // inject the real int8 loss
-				}
-				sz := actualSizes(mb)
-				loadRows += sz.VL[0]
-				if tt := e.pm.TransferTimeFor(sz); tt > st.Trans {
-					st.Trans = tt
-				}
-			}
-		}
-		st.Load = e.pm.LoadTimeForRows(loadRows, e.assign.LoadThreads)
-
-		// --- Stage 4: GNN Propagation on all trainers concurrently.
-		results := make(chan trainerResult, len(shares))
-		sync_, err := optim.NewSynchronizer(countActive(batches))
-		if err != nil {
-			return nil, err
-		}
-		totalTargets := 0
-		for _, mb := range batches {
-			if mb != nil {
-				totalTargets += len(mb.Targets)
-			}
-		}
-		var wg sync.WaitGroup
-		for i, mb := range batches {
-			if mb == nil {
-				continue
-			}
-			wg.Add(1)
-			go func(i int, mb *sampler.MiniBatch, x *tensor.Matrix) {
-				defer wg.Done()
-				res := e.runTrainer(i, mb, x, totalTargets, sync_)
-				results <- res
-			}(i, mb, feats[i])
-		}
-		wg.Wait()
-		close(results)
-
-		var avg *gnn.Gradients
-		for res := range results {
-			if res.err != nil {
-				return nil, res.err
-			}
-			lossSum += res.loss * float64(res.targets)
-			accSum += res.correct
-			targetSum += res.targets
-			avg = res.avg
-			if res.idx == 0 {
-				st.TrainCPU = res.propSec
-			} else if res.propSec > st.TrainAcc {
-				st.TrainAcc = res.propSec
-			}
-		}
-		// Weight update: EVERY replica applies the broadcast average —
-		// including trainers that had no share this iteration (the DRM can
-		// shrink a share to zero) — so the fleet stays in lock-step.
-		if avg != nil {
-			for i := range e.replicas {
-				e.opts[i].Step(e.replicas[i].Params, avg)
-			}
-		}
-
-		// --- Advance the virtual pipeline clock and let DRM react.
-		e.advanceClock(st)
-		if e.drmEng != nil {
-			e.assign = e.drmEng.Adjust(it, st, e.assign)
-		}
-	}
-
-	stats.VirtualSec = e.clock - epochStart
-	if targetSum > 0 {
-		stats.Loss = lossSum / float64(targetSum)
-		stats.Accuracy = accSum / float64(targetSum)
-	}
-	if stats.VirtualSec > 0 {
-		stats.MTEPS = edgeSum / stats.VirtualSec / 1e6
-	}
-	stats.Assignment = e.assign.Clone()
-	return stats, nil
-}
-
-// runTrainer executes one trainer's share: real forward/backward, gradient
-// scaling for the weighted all-reduce, DONE/ACK via the synchronizer, and
-// the local weight update. The returned propSec is the virtual device time.
-func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
-	totalTargets int, sync_ *optim.Synchronizer) trainerResult {
-	res := trainerResult{idx: idx, targets: len(mb.Targets)}
-	grads, loss, acc, err := e.replicas[idx].TrainStep(mb, x)
-	if err != nil {
-		res.err = err
-		return res
-	}
-	res.loss = loss
-	res.correct = acc * float64(len(mb.Targets))
-
-	// Weighted averaging: each trainer's mean-gradient is rescaled so the
-	// synchronizer's equal-weight average equals the global-batch mean.
-	// The weight *update* is applied by the coordinator to every replica
-	// (even share-less ones) once the round's average is known.
-	scale := float32(len(mb.Targets)) * float32(sync_.N()) / float32(totalTargets)
-	grads.Scale(scale)
-	res.avg = sync_.Submit(grads) // blocks until all trainers are DONE
-
-	// Virtual propagation time for this device.
-	sz := actualSizes(mb)
-	if idx == 0 {
-		share := float64(e.assign.TrainThreads) / float64(e.cfg.Plat.TotalCPUCores())
-		if !e.cfg.Hybrid {
-			share = 1 // CPU-only platform fallback
-		}
-		res.propSec = e.pm.PropTimeFor(e.cfg.Plat.CPU, sz, share) +
-			e.cfg.Plat.CPU.FrameworkOverheadMs*1e-3
-	} else {
-		dev := e.cfg.Plat.Accels[idx-1]
-		t := e.pm.PropTimeFor(dev, sz, 1)
-		res.propSec = t*(1+flushFraction) + dev.FrameworkOverheadMs*1e-3 +
-			kernelsPerIteration*dev.KernelLaunchUs*1e-6
-	}
-	return res
-}
-
-// Overheads charged by the runtime's virtual clock (mirrors pipesim).
-const (
-	flushFraction       = 0.06
-	kernelsPerIteration = 4
-	runtimeBarrierSec   = 120e-6
-)
-
-// advanceClock pushes one iteration's stage times through the max-plus
-// pipeline recurrence (paper Fig. 7).
-func (e *Engine) advanceClock(st perfmodel.StageTimes) {
-	samp := math.Max(st.SampCPU, st.SampAccel) + runtimeBarrierSec
-	prop := math.Max(st.TrainCPU, st.TrainAcc) + st.Sync + runtimeBarrierSec
-	var stages []float64
-	if e.cfg.TFP {
-		stages = []float64{samp, st.Load + runtimeBarrierSec, st.Trans + runtimeBarrierSec, prop}
-	} else {
-		stages = []float64{samp, st.Load + st.Trans + runtimeBarrierSec, prop}
-	}
-	prev := 0.0
-	for s := range stages {
-		start := math.Max(prev, e.prevDone[s])
-		e.prevDone[s] = start + stages[s]
-		prev = e.prevDone[s]
-	}
-	e.clock = e.prevDone[len(stages)-1]
-}
-
-func countActive(batches []*sampler.MiniBatch) int {
-	n := 0
-	for _, mb := range batches {
-		if mb != nil {
-			n++
-		}
-	}
-	return n
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

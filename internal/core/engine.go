@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/drm"
+	"repro/internal/gnn"
+	"repro/internal/optim"
+	"repro/internal/perfmodel"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// Engine is the runtime: the replica fleet and the composable layers that
+// drive it (clock, stage executor, gradient sync).
+type Engine struct {
+	cfg      Config
+	pm       *perfmodel.Model
+	drmEng   *drm.Engine
+	smp      *sampler.Sampler
+	saint    *sampler.SaintSampler // non-nil when Config.UseSaint
+	batcher  *sampler.Batcher
+	replicas []*gnn.Model // replica 0 = CPU trainer, 1..n = accelerators
+	opts     []*optim.SGD
+	assign   perfmodel.Assignment
+	rng      *tensor.RNG
+	epoch    int
+
+	clock   Clock
+	exec    StageExecutor
+	gsync   GradientSync
+	locator FeatureLocator
+}
+
+// NewEngine validates the configuration and builds the runtime: one model
+// replica per trainer (identically initialised — synchronous SGD keeps them
+// in lock-step), the design-phase task mapping from the performance model,
+// the DRM engine when enabled, and the runtime layers (defaulting to the
+// single-node pipeline clock and identity gradient sync).
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Data == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("core: non-positive learning rate %v", cfg.LR)
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("core: non-positive batch size %d", cfg.BatchSize)
+	}
+	if len(cfg.Model.Dims) < 2 {
+		return nil, fmt.Errorf("core: model needs at least 2 dims, got %v", cfg.Model.Dims)
+	}
+	if cfg.Data.Features.Cols != cfg.Model.Dims[0] {
+		return nil, fmt.Errorf("core: dataset features are %d-dim, model expects %d",
+			cfg.Data.Features.Cols, cfg.Model.Dims[0])
+	}
+	numClasses := cfg.Model.Dims[len(cfg.Model.Dims)-1]
+	for _, l := range cfg.Data.Labels {
+		if l < 0 || int(l) >= numClasses {
+			return nil, fmt.Errorf("core: label %d outside model's %d classes", l, numClasses)
+		}
+	}
+	work := perfmodel.Workload{
+		Spec: cfg.Data.Spec, Model: cfg.Model.Kind,
+		BatchSize: cfg.BatchSize, Fanouts: cfg.Fanouts,
+	}
+	if cfg.QuantizeTransfer {
+		work.TransferBytesPerFeat = 1
+	}
+	pm, err := perfmodel.New(cfg.Plat, work)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	smp, err := sampler.New(cfg.Data.Graph, cfg.Fanouts, cfg.Data.Labels)
+	if err != nil {
+		return nil, err
+	}
+	var saint *sampler.SaintSampler
+	if cfg.UseSaint {
+		walk := cfg.SaintWalkLen
+		if walk <= 0 {
+			walk = 3
+		}
+		saint, err = sampler.NewSaint(cfg.Data.Graph, cfg.BatchSize, walk,
+			len(cfg.Model.Dims)-1, cfg.Data.Labels)
+		if err != nil {
+			return nil, err
+		}
+	}
+	batcher, err := sampler.NewBatcher(cfg.Data.TrainIdx, effectiveTotalBatch(cfg), rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	nTrainers := 1 + len(cfg.Plat.Accels) // CPU replica always exists; unused if !Hybrid
+	replicas := make([]*gnn.Model, nTrainers)
+	opts := make([]*optim.SGD, nTrainers)
+	initRNG := rng.Split()
+	m0, err := gnn.NewModel(cfg.Model, initRNG)
+	if err != nil {
+		return nil, err
+	}
+	for i := range replicas {
+		replicas[i] = &gnn.Model{Cfg: cfg.Model, Params: m0.Params.Clone()}
+		opt, err := optim.NewSGD(cfg.LR, cfg.Momentum)
+		if err != nil {
+			return nil, err
+		}
+		opts[i] = opt
+	}
+	e := &Engine{
+		cfg: cfg, pm: pm, smp: smp, saint: saint, batcher: batcher,
+		replicas: replicas, opts: opts, rng: rng,
+		assign:  pm.InitialAssignment(cfg.Hybrid),
+		gsync:   cfg.Sync,
+		locator: cfg.Locator,
+	}
+	if e.gsync == nil {
+		e.gsync = localSync{}
+	}
+	e.clock = NewPipelineClock(cfg.TFP, cfg.networked())
+	e.exec = &hybridExecutor{e: e}
+	if cfg.DRM {
+		e.drmEng = drm.New(cfg.Plat.TotalCPUCores())
+		e.drmEng.FusedPrefetch = !cfg.TFP
+	}
+	return e, nil
+}
+
+// Assignment returns the current task mapping (after any DRM moves).
+func (e *Engine) Assignment() perfmodel.Assignment { return e.assign.Clone() }
+
+// Params returns trainer 0's parameters (all replicas are identical; the
+// invariant is checked by ReplicasInSync).
+func (e *Engine) Params() *gnn.Parameters { return e.replicas[0].Params }
+
+// Evaluate runs exact full-graph inference with the trained weights and
+// returns accuracy over idx (pass nil to evaluate every non-training
+// vertex — the held-out set).
+func (e *Engine) Evaluate(idx []int32) (float64, error) {
+	if idx == nil {
+		inTrain := make(map[int32]bool, len(e.cfg.Data.TrainIdx))
+		for _, v := range e.cfg.Data.TrainIdx {
+			inTrain[v] = true
+		}
+		for v := int32(0); int(v) < e.cfg.Data.Graph.NumVertices; v++ {
+			if !inTrain[v] {
+				idx = append(idx, v)
+			}
+		}
+	}
+	return e.replicas[0].Evaluate(e.cfg.Data.Graph, e.cfg.Data.Features, e.cfg.Data.Labels, idx)
+}
+
+// SaveModel writes a checkpoint of the trained weights.
+func (e *Engine) SaveModel(w io.Writer) error { return e.replicas[0].Save(w) }
+
+// ReplicasInSync reports the maximum parameter divergence across replicas —
+// zero when the synchronous-SGD protocol is working.
+func (e *Engine) ReplicasInSync() float64 {
+	var worst float64
+	ref := e.replicas[0].Params
+	for _, r := range e.replicas[1:] {
+		for l := range ref.Weights {
+			if d := ref.Weights[l].MaxAbsDiff(r.Params.Weights[l]); d > worst {
+				worst = d
+			}
+			if d := ref.Biases[l].MaxAbsDiff(r.Params.Biases[l]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,65 @@
+package core
+
+// Epoch orchestration: the top layer of the runtime. RunEpoch owns the
+// iteration loop and nothing else — it asks the batcher for targets, the
+// StageExecutor for execution, GradientSync for the global gradient, applies
+// the update to every replica, advances the Clock, and lets DRM react. Each
+// of those layers is swappable without touching this loop.
+
+// RunEpoch trains one full epoch and returns its statistics.
+func (e *Engine) RunEpoch() (*EpochStats, error) {
+	e.epoch++
+	iters := e.batcher.BatchesPerEpoch()
+	stats := &EpochStats{Epoch: e.epoch, Iterations: iters}
+	epochStart := e.clock.Now()
+	var lossSum, accSum float64
+	var targetSum int
+	var edgeSum float64
+
+	for it := 0; it < iters; it++ {
+		res, err := e.exec.RunIteration(e.batcher.Next())
+		if err != nil {
+			return nil, err
+		}
+		lossSum += res.LossSum
+		accSum += res.Correct
+		targetSum += res.Targets
+		edgeSum += res.Edges
+
+		// Weight update: the local average crosses GradientSync (identity on
+		// one node, ring all-reduce across shards), then EVERY replica
+		// applies the broadcast result — including trainers that had no
+		// share this iteration (the DRM can shrink a share to zero) — so the
+		// fleet stays in lock-step.
+		if res.Grad != nil {
+			global, netSec, err := e.gsync.Reduce(res.Grad)
+			if err != nil {
+				return nil, err
+			}
+			res.Stage.NetSync = netSec
+			for i := range e.replicas {
+				e.opts[i].Step(e.replicas[i].Params, global)
+			}
+		}
+
+		// --- Advance the virtual pipeline clock and let DRM react.
+		e.clock.Advance(res.Stage)
+		stats.NetFetchSec += res.Stage.NetFetch
+		stats.NetSyncSec += res.Stage.NetSync
+		stats.RemoteRows += res.RemoteRows
+		if e.drmEng != nil {
+			e.assign = e.drmEng.Adjust(it, res.Stage, e.assign)
+		}
+	}
+
+	stats.VirtualSec = e.clock.Now() - epochStart
+	if targetSum > 0 {
+		stats.Loss = lossSum / float64(targetSum)
+		stats.Accuracy = accSum / float64(targetSum)
+	}
+	if stats.VirtualSec > 0 {
+		stats.MTEPS = edgeSum / stats.VirtualSec / 1e6
+	}
+	stats.Assignment = e.assign.Clone()
+	return stats, nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/gnn"
+	"repro/internal/optim"
+	"repro/internal/perfmodel"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// StageExecutor is the trainer-execution layer: it runs one iteration's
+// pipeline stages — mini-batch sampling, feature loading and transfer, and
+// concurrent propagation on every trainer — and reports the measured virtual
+// stage times together with the training results. It does NOT apply weight
+// updates; the epoch orchestrator does, after GradientSync has produced the
+// globally averaged gradient.
+type StageExecutor interface {
+	RunIteration(targets []int32) (*IterResult, error)
+}
+
+// IterResult is one iteration's output: measured stage times, the locally
+// averaged gradient awaiting global reduction, and training statistics.
+type IterResult struct {
+	Stage      perfmodel.StageTimes
+	Grad       *gnn.Gradients // local all-reduce result (nil if no trainer ran)
+	LossSum    float64        // Σ loss × targets
+	Correct    float64        // Σ correct predictions
+	Targets    int
+	Edges      float64 // edges traversed by sampling (MTEPS numerator)
+	RemoteRows int     // feature rows fetched from remote shards
+}
+
+// Overheads charged by the runtime's virtual clock (mirrors pipesim).
+const (
+	flushFraction       = 0.06
+	kernelsPerIteration = 4
+	runtimeBarrierSec   = 120e-6
+)
+
+// hybridExecutor is the default StageExecutor: the paper's hybrid CPU +
+// accelerator pipeline over the engine's replica fleet.
+type hybridExecutor struct {
+	e *Engine
+}
+
+// RunIteration executes the pipeline stages for one global mini-batch.
+func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
+	e := x.e
+	out := &IterResult{}
+	shares := e.deviceShare(targets)
+
+	// --- Stage 1: Mini-batch Sampling (real work + virtual charge).
+	batches := make([]*sampler.MiniBatch, len(shares))
+	var sampEdgesCPU, sampEdgesAccel float64
+	for i, share := range shares {
+		if len(share) == 0 {
+			continue
+		}
+		var mb *sampler.MiniBatch
+		var err error
+		if e.saint != nil {
+			// GraphSAINT: the share size becomes this trainer's root
+			// count; targets from the batcher only size the shares.
+			mb, err = e.saint.SampleN(len(share), e.rng)
+		} else {
+			mb, err = e.smp.Sample(share, e.rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		batches[i] = mb
+		edges := float64(mb.EdgesTraversed())
+		out.Edges += edges
+		if i > 0 && e.assign.AccelSampleFrac > 0 {
+			sampEdgesAccel += edges * e.assign.AccelSampleFrac
+			sampEdgesCPU += edges * (1 - e.assign.AccelSampleFrac)
+		} else {
+			sampEdgesCPU += edges
+		}
+	}
+	st := perfmodel.StageTimes{
+		SampCPU:   e.pm.SampleTimeCPUEdges(sampEdgesCPU, e.assign.SampThreads),
+		SampAccel: e.pm.SampleTimeAccelEdges(sampEdgesAccel / float64(max(1, len(e.cfg.Plat.Accels)))),
+		Sync:      e.pm.SyncTime(),
+	}
+
+	// --- Stage 2+3: Feature Loading and Data Transfer for accelerators.
+	feats := make([]*tensor.Matrix, len(shares))
+	var loadRows float64
+	for i, mb := range batches {
+		if mb == nil {
+			continue
+		}
+		x := tensor.New(len(mb.InputNodes()), e.cfg.Model.Dims[0])
+		tensor.GatherRows(x, e.cfg.Data.Features, mb.InputNodes())
+		feats[i] = x
+		if i > 0 { // accelerator share crosses DRAM + PCIe
+			if e.cfg.QuantizeTransfer {
+				tensor.QuantizeRoundTrip(x) // inject the real int8 loss
+			}
+			sz := actualSizes(mb)
+			loadRows += sz.VL[0]
+			if tt := e.pm.TransferTimeFor(sz); tt > st.Trans {
+				st.Trans = tt
+			}
+		}
+		// Rows owned by remote shards cross the interconnect, whichever
+		// trainer consumes them (the CPU trainer's in-place reads included).
+		if e.locator != nil {
+			out.RemoteRows += e.locator.RemoteRows(mb.InputNodes())
+		}
+	}
+	st.Load = e.pm.LoadTimeForRows(loadRows, e.assign.LoadThreads)
+	if e.locator != nil {
+		st.NetFetch = e.locator.FetchSec(out.RemoteRows)
+	}
+
+	// --- Stage 4: GNN Propagation on all trainers concurrently.
+	results := make(chan trainerResult, len(shares))
+	sync_, err := optim.NewSynchronizer(countActive(batches))
+	if err != nil {
+		return nil, err
+	}
+	totalTargets := 0
+	for _, mb := range batches {
+		if mb != nil {
+			totalTargets += len(mb.Targets)
+		}
+	}
+	var wg sync.WaitGroup
+	for i, mb := range batches {
+		if mb == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, mb *sampler.MiniBatch, x *tensor.Matrix) {
+			defer wg.Done()
+			res := e.runTrainer(i, mb, x, totalTargets, sync_)
+			results <- res
+		}(i, mb, feats[i])
+	}
+	wg.Wait()
+	close(results)
+
+	for res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		out.LossSum += res.loss * float64(res.targets)
+		out.Correct += res.correct
+		out.Targets += res.targets
+		out.Grad = res.avg
+		if res.idx == 0 {
+			st.TrainCPU = res.propSec
+		} else if res.propSec > st.TrainAcc {
+			st.TrainAcc = res.propSec
+		}
+	}
+	out.Stage = st
+	return out, nil
+}
+
+// deviceShare splits the global batch of targets according to the current
+// assignment. Index 0 is the CPU trainer (may be empty).
+func (e *Engine) deviceShare(targets []int32) [][]int32 {
+	total := e.assign.TotalBatch()
+	nAcc := len(e.cfg.Plat.Accels)
+	shares := make([][]int32, nAcc+1)
+	if total == 0 {
+		shares[0] = targets
+		return shares
+	}
+	cursor := 0
+	take := func(n int) []int32 {
+		if cursor+n > len(targets) {
+			n = len(targets) - cursor
+		}
+		s := targets[cursor : cursor+n]
+		cursor += n
+		return s
+	}
+	shares[0] = take(len(targets) * e.assign.CPUBatch / total)
+	for i := 0; i < nAcc; i++ {
+		if i == nAcc-1 {
+			shares[i+1] = targets[cursor:]
+			cursor = len(targets)
+		} else {
+			shares[i+1] = take(len(targets) * e.assign.AccelBatch[i] / total)
+		}
+	}
+	if nAcc == 0 {
+		shares[0] = targets
+	}
+	return shares
+}
+
+// trainerResult carries one trainer's output back to the coordinator.
+type trainerResult struct {
+	idx     int
+	avg     *gnn.Gradients // broadcast result of the all-reduce
+	loss    float64
+	correct float64
+	targets int
+	propSec float64 // virtual propagation time on this device
+	err     error
+}
+
+// actualSizes converts a sampled mini-batch into perfmodel.Sizes.
+func actualSizes(mb *sampler.MiniBatch) perfmodel.Sizes {
+	L := len(mb.Blocks)
+	s := perfmodel.Sizes{VL: make([]float64, L+1), EL: make([]float64, L)}
+	s.VL[0] = float64(len(mb.Blocks[0].Src))
+	for l := 0; l < L; l++ {
+		s.VL[l+1] = float64(len(mb.Blocks[l].Dst))
+		s.EL[l] = float64(mb.Blocks[l].NumEdges())
+	}
+	return s
+}
+
+// runTrainer executes one trainer's share: real forward/backward, gradient
+// scaling for the weighted all-reduce, and DONE/ACK via the synchronizer.
+// The returned propSec is the virtual device time.
+func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
+	totalTargets int, sync_ *optim.Synchronizer) trainerResult {
+	res := trainerResult{idx: idx, targets: len(mb.Targets)}
+	grads, loss, acc, err := e.replicas[idx].TrainStep(mb, x)
+	if err != nil {
+		res.err = err
+		// Keep the DONE/ACK protocol alive: the synchronizer was sized for
+		// every active trainer, so a silent exit here would block the
+		// siblings forever. Submit a zero gradient; the coordinator sees
+		// res.err and discards the round.
+		sync_.Submit(gnn.NewGradients(e.replicas[idx].Params))
+		return res
+	}
+	res.loss = loss
+	res.correct = acc * float64(len(mb.Targets))
+
+	// Weighted averaging: each trainer's mean-gradient is rescaled so the
+	// synchronizer's equal-weight average equals the global-batch mean.
+	// The weight *update* is applied by the coordinator to every replica
+	// (even share-less ones) once the round's average is known.
+	scale := float32(len(mb.Targets)) * float32(sync_.N()) / float32(totalTargets)
+	grads.Scale(scale)
+	res.avg = sync_.Submit(grads) // blocks until all trainers are DONE
+
+	// Virtual propagation time for this device.
+	sz := actualSizes(mb)
+	if idx == 0 {
+		share := float64(e.assign.TrainThreads) / float64(e.cfg.Plat.TotalCPUCores())
+		if !e.cfg.Hybrid {
+			share = 1 // CPU-only platform fallback
+		}
+		res.propSec = e.pm.PropTimeFor(e.cfg.Plat.CPU, sz, share) +
+			e.cfg.Plat.CPU.FrameworkOverheadMs*1e-3
+	} else {
+		dev := e.cfg.Plat.Accels[idx-1]
+		t := e.pm.PropTimeFor(dev, sz, 1)
+		res.propSec = t*(1+flushFraction) + dev.FrameworkOverheadMs*1e-3 +
+			kernelsPerIteration*dev.KernelLaunchUs*1e-6
+	}
+	return res
+}
+
+func countActive(batches []*sampler.MiniBatch) int {
+	n := 0
+	for _, mb := range batches {
+		if mb != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -146,5 +147,110 @@ func TestPartitionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Edge cases the executing multi-node path (internal/cluster.MultiNode)
+// depends on: partitioning must stay well-defined — and every metric
+// finite — on degenerate graphs.
+
+// A graph with no edges at all (every vertex isolated) must partition
+// cleanly: the frontier never grows, so every assignment comes from the
+// steal path, and the cut must be exactly 0, not NaN.
+func TestEdgelessGraphPartition(t *testing.T) {
+	g, err := FromEdges(50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionGreedyBFS(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cut := p.EdgeCutFraction(g); cut != 0 {
+		t.Fatalf("edgeless cut = %v, want exactly 0", cut)
+	}
+	if b := p.Balance(); math.IsNaN(b) || b < 1 || b > 2 {
+		t.Fatalf("edgeless balance = %v", b)
+	}
+}
+
+// Isolated vertices mixed into a connected graph must all be assigned and
+// must not poison the cut computation.
+func TestIsolatedVerticesPartition(t *testing.T) {
+	// Vertices 0..59 form a ring; 60..99 are isolated.
+	var edges []Edge
+	for i := 0; i < 60; i++ {
+		edges = append(edges, Edge{Src: int32(i), Dst: int32((i + 1) % 60)})
+	}
+	g, err := FromEdges(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionGreedyBFS(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cut := p.EdgeCutFraction(g)
+	if math.IsNaN(cut) || cut < 0 || cut > 1 {
+		t.Fatalf("cut %v outside [0,1]", cut)
+	}
+}
+
+// k == n: every vertex its own part — the extreme the region-grower must
+// survive (all seeds, nothing to grow).
+func TestOneVertexPerPart(t *testing.T) {
+	g := randomGraph(t, 12, 40, 9)
+	p, err := PartitionGreedyBFS(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Balance(); b != 1 {
+		t.Fatalf("one-vertex parts balance %v, want exactly 1", b)
+	}
+	for _, s := range p.Sizes {
+		if s != 1 {
+			t.Fatalf("part sizes %v, want all 1", p.Sizes)
+		}
+	}
+}
+
+// A hand-built partition with an empty part must keep every metric finite:
+// the multi-node coordinator rejects such partitions, but the metrics it
+// prints while doing so must not be NaN.
+func TestEmptyPartMetricsFinite(t *testing.T) {
+	g := randomGraph(t, 30, 120, 11)
+	assign := make([]int32, 30)
+	sizes := []int64{20, 10, 0} // part 2 empty
+	for i := 20; i < 30; i++ {
+		assign[i] = 1
+	}
+	p := &Partition{K: 3, Assign: assign, Sizes: sizes}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cut := p.EdgeCutFraction(g)
+	if math.IsNaN(cut) || cut < 0 || cut > 1 {
+		t.Fatalf("cut %v with empty part", cut)
+	}
+	if b := p.Balance(); math.IsNaN(b) || math.IsInf(b, 0) {
+		t.Fatalf("balance %v with empty part", b)
+	}
+}
+
+// PartitionGreedyBFS must reject more parts than vertices — the guard the
+// multi-node coordinator relies on when -nodes exceeds the graph.
+func TestTooManyPartsRejected(t *testing.T) {
+	g := randomGraph(t, 5, 10, 13)
+	if _, err := PartitionGreedyBFS(g, 6); err == nil {
+		t.Fatal("expected error for 6 parts of 5 vertices")
 	}
 }

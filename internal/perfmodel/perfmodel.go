@@ -113,13 +113,23 @@ type StageTimes struct {
 	TrainCPU  float64 // T_TC
 	TrainAcc  float64 // T_TA (max over accelerators)
 	Sync      float64 // gradient all-reduce (part of propagation stage, Eq. 9)
+
+	// Multi-node charges (zero on a single node). NetFetch is the remote
+	// feature traffic over the node's NIC, overlapped with the local pipeline
+	// as its own stage (the DistDGL-style prefetch); NetSync is the inter-node
+	// gradient all-reduce, serial after the local sync.
+	NetFetch float64
+	NetSync  float64
 }
 
 // Bottleneck returns the largest pipelined-stage time (Eq. 6), bundling
-// Trans with TrainAcc the way Algorithm 1 line 1 does (T_Accel).
+// Trans with TrainAcc the way Algorithm 1 line 1 does (T_Accel). Remote
+// feature fetching overlaps the local pipeline (it is one more stage in the
+// max), while the inter-node all-reduce is serial on top.
 func (s StageTimes) Bottleneck() float64 {
-	return math.Max(math.Max(s.SampCPU, s.SampAccel),
+	local := math.Max(math.Max(s.SampCPU, s.SampAccel),
 		math.Max(s.Load, math.Max(s.Trans, math.Max(s.TrainCPU, s.TrainAcc+s.Sync))))
+	return math.Max(local, s.NetFetch) + s.NetSync
 }
 
 // SoftwareProfile captures stack-dependent efficiencies that the paper's
@@ -535,11 +545,4 @@ func (m *Model) InitialAssignment(hybrid bool) Assignment {
 		}
 	}
 	return best
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
