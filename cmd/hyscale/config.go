@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// options mirrors the command-line flags one-to-one; buildConfig translates
+// and validates them. Keeping the translation free of flag.* makes the
+// dataset/model/platform/mode validation unit-testable.
+type options struct {
+	dataset  string
+	model    string
+	platform string
+	scale    int64
+	epochs   int
+	batch    int
+	lr       float64
+	seed     uint64
+	hybrid   bool
+	tfp      bool
+	drm      bool
+	quantize bool
+	saint    bool
+	nodes    int
+	trace    string
+
+	serveMode     bool
+	serveRate     float64
+	serveRequests int
+	serveBatch    int
+	serveWindowUs float64
+	serveWorkers  int
+	serveQueue    int
+	serveCache    int
+	serveZipf     float64
+}
+
+// runSpec is a fully validated run: the scaled dataset spec, resolved model
+// kind and platform, and constructors for the runtime configs that only
+// need the materialized dataset.
+type runSpec struct {
+	Spec    datagen.Spec
+	Kind    gnn.Kind
+	Plat    hw.Platform
+	Fanouts []int
+	opts    options
+}
+
+// buildConfig resolves and validates every flag. Bad values return errors
+// (never panics): unknown names, non-positive counts, and incompatible mode
+// combinations are all rejected here, before any work starts.
+func buildConfig(o options) (*runSpec, error) {
+	spec, err := datagen.SpecByName(o.dataset)
+	if err != nil {
+		return nil, err
+	}
+	if o.scale < 1 {
+		return nil, fmt.Errorf("-scale %d: need at least 1", o.scale)
+	}
+	r := &runSpec{Spec: spec.Scaled(o.scale), Fanouts: []int{25, 10}, opts: o}
+	switch strings.ToLower(o.model) {
+	case "gcn":
+		r.Kind = gnn.GCN
+	case "sage", "graphsage":
+		r.Kind = gnn.SAGE
+	default:
+		return nil, fmt.Errorf("unknown model %q", o.model)
+	}
+	switch o.platform {
+	case "cpu-gpu":
+		r.Plat = hw.CPUGPUPlatform()
+	case "cpu-fpga":
+		r.Plat = hw.CPUFPGAPlatform()
+	default:
+		return nil, fmt.Errorf("unknown platform %q", o.platform)
+	}
+	if o.epochs < 0 {
+		return nil, fmt.Errorf("-epochs %d: negative", o.epochs)
+	}
+	if o.batch < 1 {
+		return nil, fmt.Errorf("-batch %d: need at least 1", o.batch)
+	}
+	if o.lr <= 0 {
+		return nil, fmt.Errorf("-lr %v: need a positive learning rate", o.lr)
+	}
+	if o.nodes < 1 {
+		return nil, fmt.Errorf("-nodes %d: need at least 1", o.nodes)
+	}
+	if o.nodes > 1 && o.epochs < 1 {
+		return nil, fmt.Errorf("-epochs %d: multi-node needs at least 1", o.epochs)
+	}
+	if !o.serveMode && o.epochs < 1 {
+		return nil, fmt.Errorf("-epochs %d: training needs at least 1", o.epochs)
+	}
+	if o.serveMode {
+		if o.nodes > 1 {
+			return nil, fmt.Errorf("-serve with -nodes %d: serving a partitioned fleet is not supported", o.nodes)
+		}
+		if o.serveRate <= 0 {
+			return nil, fmt.Errorf("-serve-rate %v: need a positive request rate", o.serveRate)
+		}
+		if o.serveRequests < 1 {
+			return nil, fmt.Errorf("-serve-requests %d: need at least 1", o.serveRequests)
+		}
+		if o.serveBatch < 1 {
+			return nil, fmt.Errorf("-serve-batch %d: need at least 1", o.serveBatch)
+		}
+		if o.serveWindowUs < 0 {
+			return nil, fmt.Errorf("-serve-window-us %v: negative", o.serveWindowUs)
+		}
+		if o.serveWorkers < 1 {
+			return nil, fmt.Errorf("-serve-workers %d: need at least 1", o.serveWorkers)
+		}
+		if o.serveQueue < 1 {
+			return nil, fmt.Errorf("-serve-queue %d: need at least 1", o.serveQueue)
+		}
+		if o.serveCache < 0 {
+			return nil, fmt.Errorf("-serve-cache %d: negative", o.serveCache)
+		}
+		if o.serveZipf < 0 {
+			return nil, fmt.Errorf("-serve-zipf %v: negative", o.serveZipf)
+		}
+	}
+	return r, nil
+}
+
+// coreConfig assembles the training runtime config for a materialized
+// dataset.
+func (r *runSpec) coreConfig(ds *datagen.Dataset) core.Config {
+	return core.Config{
+		Plat:             r.Plat,
+		Data:             ds,
+		Model:            gnn.Config{Kind: r.Kind, Dims: r.Spec.FeatDims},
+		LR:               float32(r.opts.lr),
+		BatchSize:        r.opts.batch,
+		Fanouts:          r.Fanouts,
+		Hybrid:           r.opts.hybrid,
+		TFP:              r.opts.tfp,
+		DRM:              r.opts.drm,
+		QuantizeTransfer: r.opts.quantize,
+		UseSaint:         r.opts.saint,
+		Seed:             r.opts.seed,
+	}
+}
+
+// serveConfig assembles the serving config for a materialized dataset and a
+// trained model.
+func (r *runSpec) serveConfig(ds *datagen.Dataset, model *gnn.Model) serve.Config {
+	return serve.Config{
+		Plat:             r.Plat,
+		Data:             ds,
+		Model:            model,
+		Fanouts:          r.Fanouts,
+		ModelVersion:     1 + r.opts.epochs, // version advances with training
+		NumRequests:      r.opts.serveRequests,
+		RatePerSec:       r.opts.serveRate,
+		ZipfExponent:     r.opts.serveZipf,
+		MaxBatch:         r.opts.serveBatch,
+		WindowSec:        r.opts.serveWindowUs * 1e-6,
+		Workers:          r.opts.serveWorkers,
+		QueueCap:         r.opts.serveQueue,
+		CacheSize:        r.opts.serveCache,
+		QuantizeTransfer: r.opts.quantize,
+		Seed:             r.opts.seed,
+	}
+}

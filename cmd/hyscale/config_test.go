@@ -1,0 +1,130 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gnn"
+)
+
+// validOptions mirrors the flag defaults.
+func validOptions() options {
+	return options{
+		dataset: "ogbn-products", model: "sage", platform: "cpu-fpga",
+		scale: 2000, epochs: 5, batch: 256, lr: 0.3, seed: 1,
+		hybrid: true, tfp: true, drm: true, nodes: 1,
+		serveRate: 5000, serveRequests: 20000, serveBatch: 32,
+		serveWindowUs: 500, serveWorkers: 2, serveQueue: 1024,
+		serveCache: 4096, serveZipf: 1.1,
+	}
+}
+
+func TestBuildConfigDefaults(t *testing.T) {
+	r, err := buildConfig(validOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != gnn.SAGE {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Plat.Name == "" || len(r.Plat.Accels) == 0 {
+		t.Fatalf("platform not resolved: %+v", r.Plat)
+	}
+	if r.Spec.NumVertices <= 0 || r.Spec.NumVertices >= 2_449_029 {
+		t.Fatalf("spec not scaled: %d vertices", r.Spec.NumVertices)
+	}
+	if len(r.Fanouts) != r.Spec.Layers() {
+		t.Fatalf("%d fanouts for %d layers", len(r.Fanouts), r.Spec.Layers())
+	}
+}
+
+func TestBuildConfigResolvesAliases(t *testing.T) {
+	o := validOptions()
+	o.model = "GraphSAGE"
+	if _, err := buildConfig(o); err != nil {
+		t.Fatalf("GraphSAGE alias rejected: %v", err)
+	}
+	o.model = "gcn"
+	r, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != gnn.GCN {
+		t.Fatalf("kind = %v, want GCN", r.Kind)
+	}
+}
+
+// Every bad value must come back as an error mentioning the culprit — never
+// a panic, never a silent default.
+func TestBuildConfigRejectsBadValues(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*options)
+		want   string // substring of the error
+	}{
+		"dataset":        {func(o *options) { o.dataset = "imagenet" }, "imagenet"},
+		"model":          {func(o *options) { o.model = "transformer" }, "model"},
+		"platform":       {func(o *options) { o.platform = "tpu-pod" }, "platform"},
+		"scale":          {func(o *options) { o.scale = 0 }, "-scale"},
+		"epochs":         {func(o *options) { o.epochs = -1 }, "-epochs"},
+		"no-training":    {func(o *options) { o.epochs = 0 }, "-epochs"},
+		"batch":          {func(o *options) { o.batch = 0 }, "-batch"},
+		"lr":             {func(o *options) { o.lr = 0 }, "-lr"},
+		"nodes":          {func(o *options) { o.nodes = 0 }, "-nodes"},
+		"serve+nodes":    {func(o *options) { o.serveMode = true; o.nodes = 4 }, "-serve"},
+		"serve-rate":     {func(o *options) { o.serveMode = true; o.serveRate = 0 }, "-serve-rate"},
+		"serve-requests": {func(o *options) { o.serveMode = true; o.serveRequests = 0 }, "-serve-requests"},
+		"serve-batch":    {func(o *options) { o.serveMode = true; o.serveBatch = 0 }, "-serve-batch"},
+		"serve-window":   {func(o *options) { o.serveMode = true; o.serveWindowUs = -1 }, "-serve-window-us"},
+		"serve-workers":  {func(o *options) { o.serveMode = true; o.serveWorkers = 0 }, "-serve-workers"},
+		"serve-queue":    {func(o *options) { o.serveMode = true; o.serveQueue = 0 }, "-serve-queue"},
+		"serve-cache":    {func(o *options) { o.serveMode = true; o.serveCache = -1 }, "-serve-cache"},
+		"serve-zipf":     {func(o *options) { o.serveMode = true; o.serveZipf = -0.5 }, "-serve-zipf"},
+		"multinode-0ep":  {func(o *options) { o.nodes = 2; o.epochs = 0 }, "multi-node"},
+	}
+	for name, tc := range cases {
+		o := validOptions()
+		tc.mutate(&o)
+		_, err := buildConfig(o)
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %q", name, err, tc.want)
+		}
+	}
+}
+
+// -serve -epochs 0 is the one zero-epoch mode that is legal (serve an
+// untrained model).
+func TestBuildConfigServeWithoutTraining(t *testing.T) {
+	o := validOptions()
+	o.serveMode = true
+	o.epochs = 0
+	if _, err := buildConfig(o); err != nil {
+		t.Fatalf("serve without training rejected: %v", err)
+	}
+}
+
+func TestConfigConstructors(t *testing.T) {
+	o := validOptions()
+	o.serveMode = true
+	r, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := r.coreConfig(nil) // dataset wired by the caller; translation only
+	if cc.BatchSize != 256 || cc.LR != 0.3 || !cc.Hybrid || !cc.TFP || !cc.DRM {
+		t.Fatalf("core config lost flags: %+v", cc)
+	}
+	if len(cc.Fanouts) != 2 || cc.Fanouts[0] != 25 {
+		t.Fatalf("fanouts = %v", cc.Fanouts)
+	}
+	sc := r.serveConfig(nil, nil)
+	if sc.MaxBatch != 32 || sc.WindowSec != 500e-6 || sc.CacheSize != 4096 ||
+		sc.RatePerSec != 5000 || sc.QueueCap != 1024 {
+		t.Fatalf("serve config lost flags: %+v", sc)
+	}
+	if sc.ModelVersion != 1+o.epochs {
+		t.Fatalf("model version %d", sc.ModelVersion)
+	}
+}

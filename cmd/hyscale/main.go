@@ -10,119 +10,115 @@
 // virtual clock; the run ends by comparing the executed slowdown against
 // the analytic cluster model's prediction.
 //
+// With -serve the trained model is handed to the online-serving subsystem
+// (beyond the paper): a synthetic open-loop Zipf request stream flows
+// through admission control, a dynamic batcher, an LRU embedding cache, and
+// an accelerator worker pool, all charged on the same virtual clock; the
+// run reports p50/p99 latency, throughput, and the analytic serving model's
+// prediction for the same operating point.
+//
 // Usage:
 //
 //	hyscale -dataset ogbn-products -model sage -platform cpu-fpga \
-//	        -scale 2000 -epochs 5 -batch 256 [-nodes 4]
+//	        -scale 2000 -epochs 5 -batch 256 [-nodes 4] \
+//	        [-serve -serve-rate 5000 -serve-requests 20000 \
+//	         -serve-batch 32 -serve-window-us 500 -serve-cache 4096]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/gnn"
 	"repro/internal/hw"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
 func main() {
-	dataset := flag.String("dataset", "ogbn-products", "dataset spec: ogbn-products | ogbn-papers100M | MAG240M(homo)")
-	modelName := flag.String("model", "sage", "model: gcn | sage")
-	platform := flag.String("platform", "cpu-fpga", "platform: cpu-gpu | cpu-fpga")
-	scale := flag.Int64("scale", 2000, "dataset scale-down factor (graph is synthetic RMAT)")
-	epochs := flag.Int("epochs", 5, "epochs to train")
-	batch := flag.Int("batch", 256, "per-trainer mini-batch size")
-	lr := flag.Float64("lr", 0.3, "learning rate")
-	seed := flag.Uint64("seed", 1, "random seed")
+	var o options
+	flag.StringVar(&o.dataset, "dataset", "ogbn-products", "dataset spec: ogbn-products | ogbn-papers100M | MAG240M(homo)")
+	flag.StringVar(&o.model, "model", "sage", "model: gcn | sage")
+	flag.StringVar(&o.platform, "platform", "cpu-fpga", "platform: cpu-gpu | cpu-fpga")
+	flag.Int64Var(&o.scale, "scale", 2000, "dataset scale-down factor (graph is synthetic RMAT)")
+	flag.IntVar(&o.epochs, "epochs", 5, "epochs to train")
+	flag.IntVar(&o.batch, "batch", 256, "per-trainer mini-batch size")
+	flag.Float64Var(&o.lr, "lr", 0.3, "learning rate")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	noHybrid := flag.Bool("no-hybrid", false, "disable hybrid CPU training")
 	noTFP := flag.Bool("no-tfp", false, "disable two-stage feature prefetching")
 	noDRM := flag.Bool("no-drm", false, "disable dynamic resource management")
-	quantize := flag.Bool("quantize", false, "int8-quantize features on the PCIe link (§VIII extension)")
-	saint := flag.Bool("saint", false, "use GraphSAINT random-walk sampling instead of neighbor sampling")
-	nodes := flag.Int("nodes", 1, "execute a multi-node run with this many partitioned shards")
-	traceOut := flag.String("trace", "", "write per-epoch CSV telemetry to this file")
+	flag.BoolVar(&o.quantize, "quantize", false, "int8-quantize features on the PCIe link (§VIII extension)")
+	flag.BoolVar(&o.saint, "saint", false, "use GraphSAINT random-walk sampling instead of neighbor sampling")
+	flag.IntVar(&o.nodes, "nodes", 1, "execute a multi-node run with this many partitioned shards")
+	flag.StringVar(&o.trace, "trace", "", "write per-epoch CSV telemetry to this file")
+	flag.BoolVar(&o.serveMode, "serve", false, "after training, serve an open-loop request stream with the trained model")
+	flag.Float64Var(&o.serveRate, "serve-rate", 5000, "serving: offered load in requests/second")
+	flag.IntVar(&o.serveRequests, "serve-requests", 20000, "serving: requests in the open-loop stream")
+	flag.IntVar(&o.serveBatch, "serve-batch", 32, "serving: dynamic batcher's max batch size")
+	flag.Float64Var(&o.serveWindowUs, "serve-window-us", 500, "serving: dynamic batcher's max-wait deadline (µs)")
+	flag.IntVar(&o.serveWorkers, "serve-workers", 2, "serving: worker-pool size (capped at the platform's accelerators)")
+	flag.IntVar(&o.serveQueue, "serve-queue", 1024, "serving: admission-control queue capacity")
+	flag.IntVar(&o.serveCache, "serve-cache", 4096, "serving: embedding-cache capacity in entries (0 disables)")
+	flag.Float64Var(&o.serveZipf, "serve-zipf", 1.1, "serving: Zipf exponent of vertex popularity (0 = uniform)")
 	flag.Parse()
+	o.hybrid, o.tfp, o.drm = !*noHybrid, !*noTFP, !*noDRM
 
-	if err := run(*dataset, *modelName, *platform, *scale, *epochs, *batch,
-		float32(*lr), *seed, !*noHybrid, !*noTFP, !*noDRM, *quantize, *saint, *nodes, *traceOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hyscale:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, modelName, platform string, scale int64, epochs, batch int,
-	lr float32, seed uint64, hybrid, tfp, drmOn, quantize, saint bool, nodes int, traceOut string) error {
-	spec, err := datagen.SpecByName(dataset)
+func run(o options) error {
+	r, err := buildConfig(o)
 	if err != nil {
 		return err
 	}
-	scaled := spec.Scaled(scale)
-	var kind gnn.Kind
-	switch strings.ToLower(modelName) {
-	case "gcn":
-		kind = gnn.GCN
-	case "sage", "graphsage":
-		kind = gnn.SAGE
-	default:
-		return fmt.Errorf("unknown model %q", modelName)
-	}
-	var plat hw.Platform
-	switch platform {
-	case "cpu-gpu":
-		plat = hw.CPUGPUPlatform()
-	case "cpu-fpga":
-		plat = hw.CPUFPGAPlatform()
-	default:
-		return fmt.Errorf("unknown platform %q", platform)
-	}
-
 	fmt.Printf("Materializing %s (scaled 1/%d: %d vertices, %d edges, f=%v)...\n",
-		spec.Name, scale, scaled.NumVertices, scaled.NumEdges, scaled.FeatDims)
-	ds, err := datagen.Materialize(scaled, 0.2, tensor.NewRNG(seed))
+		o.dataset, o.scale, r.Spec.NumVertices, r.Spec.NumEdges, r.Spec.FeatDims)
+	ds, err := datagen.Materialize(r.Spec, 0.2, tensor.NewRNG(o.seed))
 	if err != nil {
 		return err
 	}
-	coreCfg := core.Config{
-		Plat:             plat,
-		Data:             ds,
-		Model:            gnn.Config{Kind: kind, Dims: scaled.FeatDims},
-		LR:               lr,
-		BatchSize:        batch,
-		Fanouts:          []int{25, 10},
-		Hybrid:           hybrid,
-		TFP:              tfp,
-		DRM:              drmOn,
-		QuantizeTransfer: quantize,
-		UseSaint:         saint,
-		Seed:             seed,
+	coreCfg := r.coreConfig(ds)
+	if o.nodes > 1 {
+		return runMultiNode(coreCfg, o.nodes, o.epochs, o.trace)
 	}
-	if nodes < 1 {
-		return fmt.Errorf("-nodes %d: need at least 1", nodes)
+	model, err := runSingleNode(r, coreCfg, o)
+	if err != nil {
+		return err
 	}
-	if nodes > 1 {
-		if epochs < 1 {
-			return fmt.Errorf("-epochs %d: multi-node needs at least 1", epochs)
-		}
-		return runMultiNode(coreCfg, nodes, epochs, traceOut)
+	if o.serveMode {
+		return runServe(r, ds, model)
+	}
+	return nil
+}
+
+// runSingleNode trains on one node and returns the trained model (a fresh
+// randomly initialised one when -epochs 0 under -serve).
+func runSingleNode(r *runSpec, coreCfg core.Config, o options) (*gnn.Model, error) {
+	if o.epochs == 0 {
+		fmt.Println("Skipping training (-epochs 0): serving an untrained model.")
+		return gnn.NewModel(coreCfg.Model, tensor.NewRNG(o.seed))
 	}
 	engine, err := core.NewEngine(coreCfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("Training %s on %s (hybrid=%v tfp=%v drm=%v quantize=%v saint=%v)\n\n",
-		kind, plat.Name, hybrid, tfp, drmOn, quantize, saint)
+		r.Kind, r.Plat.Name, o.hybrid, o.tfp, o.drm, o.quantize, o.saint)
 	var rec trace.Recorder
 	fmt.Printf("%-6s %-10s %-10s %-14s %-10s\n", "epoch", "loss", "accuracy", "virtual-epoch", "MTEPS")
-	for ep := 0; ep < epochs; ep++ {
+	for ep := 0; ep < o.epochs; ep++ {
 		st, err := engine.RunEpoch()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("%-6d %-10.4f %-10.3f %-14s %-10.1f\n",
 			st.Epoch, st.Loss, st.Accuracy, fmt.Sprintf("%.4fs", st.VirtualSec), st.MTEPS)
@@ -136,25 +132,39 @@ func run(dataset, modelName, platform string, scale int64, epochs, batch int,
 			CPUBatch: st.Assignment.CPUBatch, AccelBatch: accelShare,
 		})
 	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		if err := rec.WriteEpochsCSV(f); err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("\nwrote %s\n", traceOut)
+		fmt.Printf("\nwrote %s\n", o.trace)
 	}
 	a := engine.Assignment()
 	fmt.Printf("\nFinal task mapping: CPU batch %d, accel batches %v\n", a.CPUBatch, a.AccelBatch)
 	fmt.Printf("CPU threads: sampler %d, loader %d, trainer %d\n",
 		a.SampThreads, a.LoadThreads, a.TrainThreads)
 	if d := engine.ReplicasInSync(); d > 1e-6 {
-		return fmt.Errorf("replica divergence %g — synchronous SGD violated", d)
+		return nil, fmt.Errorf("replica divergence %g — synchronous SGD violated", d)
 	}
 	fmt.Println("Replica consistency check: all trainers hold identical weights.")
+	return &gnn.Model{Cfg: coreCfg.Model, Params: engine.Params()}, nil
+}
+
+// runServe drives the open-loop stream against the trained model.
+func runServe(r *runSpec, ds *datagen.Dataset, model *gnn.Model) error {
+	cfg := r.serveConfig(ds, model)
+	fmt.Printf("\nServing %d requests at %.0f req/s (Zipf %.2f, batch ≤%d, window %.0fµs, cache %d, %d workers)\n\n",
+		cfg.NumRequests, cfg.RatePerSec, cfg.ZipfExponent, cfg.MaxBatch,
+		cfg.WindowSec*1e6, cfg.CacheSize, cfg.Workers)
+	st, err := serve.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
 	return nil
 }
 

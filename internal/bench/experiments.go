@@ -364,7 +364,11 @@ func All(seed uint64) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em}, nil
+	es, err := ExtServe(seed)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em, es}, nil
 }
 
 // ByName returns a single experiment's table by its short identifier.
@@ -394,6 +398,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtCluster()
 	case "ext-multinode":
 		return ExtMultiNodeExec(seed)
+	case "ext-serve":
+		return ExtServe(seed)
 	case "throughput":
 		return Throughput(seed)
 	default:
@@ -406,5 +412,5 @@ func ByName(name string, seed uint64) (*Table, error) {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
 		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
-		"ext-multinode"}
+		"ext-multinode", "ext-serve"}
 }

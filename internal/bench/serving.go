@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// ExtServe exercises the online-serving extension end to end: an open-loop
+// Zipf request stream against the serving stack (admission → dynamic batcher
+// → embedding cache → accelerator worker pool), executed on the virtual
+// clock. Two sweeps bracket the design space:
+//
+//   - batch window at moderate load — median latency must rise with the
+//     window while the analytic serving model tracks the executed per-batch
+//     service time within its ±35% band;
+//   - cache size at ~3x overload with no batching window — the hit rate and
+//     served throughput must rise with capacity while the p99 tail falls.
+func ExtServe(seed uint64) (*Table, error) {
+	t := &Table{
+		Title: "Extension: online serving (CPU-FPGA pool, open-loop Zipf stream; " +
+			"analytic service time within ±35% of executed)",
+		Header: []string{"Sweep", "Rate(r/s)", "Win(ms)", "Cache", "Batch", "Hit%",
+			"p50(ms)", "p99(ms)", "RPS", "Svc exec(ms)", "Svc pred(ms)", "Err%"},
+	}
+	rng := tensor.NewRNG(seed)
+	spec := datagen.Spec{Name: "products-serve", NumVertices: 3000, NumEdges: 24000,
+		FeatDims: []int{100, 64, 16}, TrainNodes: 1500}
+	ds, err := datagen.Materialize(spec, 0.5, rng)
+	if err != nil {
+		return nil, err
+	}
+	model, err := gnn.NewModel(gnn.Config{Kind: gnn.SAGE, Dims: spec.FeatDims}, rng)
+	if err != nil {
+		return nil, err
+	}
+	base := serve.Config{
+		Plat: hw.CPUFPGAPlatform(), Data: ds, Model: model,
+		Fanouts: []int{10, 5}, NumRequests: 2000, ZipfExponent: 1.1,
+		MaxBatch: 32, Workers: 2, QueueCap: 512, Seed: seed,
+	}
+	addRow := func(sweep string, st *serve.Stats, cfg serve.Config) {
+		errPct := 100 * math.Abs(st.MeanServiceSec-st.Prediction.ServiceSec) / st.MeanServiceSec
+		t.AddRow(Txt(sweep), Num(cfg.RatePerSec, "%.0f"), Num(1e3*cfg.WindowSec, "%.2f"),
+			Num(float64(cfg.CacheSize), "%.0f"), Num(st.MeanBatch, "%.1f"),
+			Num(100*st.HitRate, "%.0f"), Num(1e3*st.P50Sec, "%.3f"), Num(1e3*st.P99Sec, "%.3f"),
+			Num(st.ThroughputRPS, "%.0f"), Num(1e3*st.MeanServiceSec, "%.3f"),
+			Num(1e3*st.Prediction.ServiceSec, "%.3f"), Num(errPct, "%.0f%%"))
+	}
+
+	withRate := func(c serve.Config, r float64) serve.Config { c.RatePerSec = r; return c }
+
+	// Anchor the two load regimes on the analytic capacity of a
+	// single-request batch (cold cache) rather than magic numbers.
+	probe, err := serve.Predict(withRate(base, 1000), 1)
+	if err != nil {
+		return nil, err
+	}
+	moderate := 0.4 * probe.CapacityRPS
+	overload := 3 * probe.CapacityRPS
+
+	for _, windowMs := range []float64{0, 0.5, 2} {
+		cfg := withRate(base, moderate)
+		cfg.WindowSec = windowMs * 1e-3
+		st, err := serve.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		addRow("window", st, cfg)
+	}
+	for _, cacheSize := range []int{0, 64, 1024} {
+		cfg := withRate(base, overload)
+		cfg.WindowSec = 0
+		cfg.CacheSize = cacheSize
+		st, err := serve.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		addRow("cache", st, cfg)
+	}
+	return t, nil
+}

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// Extension: serving latency must respond monotonically to the batch-window
+// knob, throughput and tail latency to the cache-size knob, and the analytic
+// serving model must hold its stated ±35% service-time band on every row.
+func TestExtServeShape(t *testing.T) {
+	tb, err := ExtServe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var prevP50, prevHit, prevRPS, prevP99 float64
+	for i, row := range tb.Rows {
+		sweep := row[0].render()
+		hit, p50, p99, rps := row[5].Value, row[6].Value, row[7].Value, row[8].Value
+		if errPct := row[11].Value; errPct > 35 {
+			t.Fatalf("row %d: analytic service time %0.f%% off the executed clock", i, errPct)
+		}
+		switch sweep {
+		case "window":
+			if i > 0 && p50 <= prevP50 {
+				t.Fatalf("window sweep: p50 %v not above %v — latency not monotone in window", p50, prevP50)
+			}
+			prevP50 = p50
+		case "cache":
+			if row[3].Value > 0 { // rows after the cold baseline
+				if hit <= prevHit {
+					t.Fatalf("cache sweep: hit rate %v%% not above %v%%", hit, prevHit)
+				}
+				if rps <= prevRPS {
+					t.Fatalf("cache sweep: throughput %v not above %v", rps, prevRPS)
+				}
+				if p99 >= prevP99 {
+					t.Fatalf("cache sweep: p99 %v not below %v", p99, prevP99)
+				}
+			}
+			prevHit, prevRPS, prevP99 = hit, rps, p99
+		default:
+			t.Fatalf("unknown sweep %q", sweep)
+		}
+	}
+}

@@ -58,7 +58,17 @@ func (c *PipelineClock) Reset() {
 func (c *PipelineClock) Now() float64 { return c.now }
 
 // Advance pushes one iteration's stage times through the max-plus recurrence.
-func (c *PipelineClock) Advance(st perfmodel.StageTimes) {
+// Iterations are assumed back-to-back (training's batcher always has the
+// next mini-batch ready).
+func (c *PipelineClock) Advance(st perfmodel.StageTimes) { c.AdvanceAfter(0, st) }
+
+// AdvanceAfter pushes one unit of work through the pipeline whose first
+// stage cannot start before `ready` (virtual seconds) and returns its
+// completion time. This is the serving-side entry point: a request batch
+// becomes ready when the dynamic batcher closes it, which may leave the
+// pipeline idle in between — unlike training iterations, which are always
+// back-to-back (Advance is AdvanceAfter with ready 0).
+func (c *PipelineClock) AdvanceAfter(ready float64, st perfmodel.StageTimes) float64 {
 	samp := math.Max(st.SampCPU, st.SampAccel) + runtimeBarrierSec
 	prop := math.Max(st.TrainCPU, st.TrainAcc) + st.Sync + runtimeBarrierSec
 	if c.networked {
@@ -79,11 +89,12 @@ func (c *PipelineClock) Advance(st perfmodel.StageTimes) {
 		stages = append(stages, st.NetFetch)
 	}
 	stages = append(stages, prop)
-	prev := 0.0
+	prev := ready
 	for s := range stages {
 		start := math.Max(prev, c.prevDone[s])
 		c.prevDone[s] = start + stages[s]
 		prev = c.prevDone[s]
 	}
 	c.now = c.prevDone[len(stages)-1]
+	return c.now
 }

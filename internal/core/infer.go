@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// InferConfig assembles one serving worker's pipeline.
+type InferConfig struct {
+	Plat hw.Platform
+	Data *datagen.Dataset
+	// Model is the trained model the worker serves. It is shared between
+	// workers and read-only during serving.
+	Model   *gnn.Model
+	Fanouts []int
+	// Device selects the propagation device: 0 is the CPU trainer, i > 0 is
+	// Plat.Accels[i-1] (features then cross PCIe, as in training).
+	Device int
+	// SampThreads/LoadThreads are the CPU threads charged for sampling and
+	// feature gathering; zero defaults to a quarter of the cores each, the
+	// training runtime's initial split.
+	SampThreads, LoadThreads int
+	// QuantizeTransfer int8-quantizes accelerator-bound features on the PCIe
+	// link, with the real rounding error injected (as in training).
+	QuantizeTransfer bool
+	Seed             uint64
+}
+
+// InferResult is one served batch: the computed logits (row i answers
+// targets[i]) and the virtual stage times the batch cost.
+type InferResult struct {
+	Stage     perfmodel.StageTimes
+	Logits    *tensor.Matrix
+	Targets   []int32
+	Edges     float64 // edges traversed by fanout sampling
+	InputRows int     // feature rows gathered (|V0|)
+}
+
+// InferencePipeline is the serving-side counterpart of the training
+// StageExecutor: one worker's sample → gather → transfer → propagate
+// pipeline over the shared runtime layers. Real numeric propagation runs
+// through the same gnn layer kernels as training; virtual time is charged by
+// the same perfmodel primitives and composed by the same max-plus
+// PipelineClock, so serving latency and training throughput are priced on
+// one clock.
+type InferencePipeline struct {
+	cfg   InferConfig
+	pm    *perfmodel.Model
+	smp   *sampler.Sampler
+	clock *PipelineClock
+	rng   *tensor.RNG
+}
+
+// NewInferencePipeline validates the configuration and builds one worker.
+func NewInferencePipeline(cfg InferConfig) (*InferencePipeline, error) {
+	if cfg.Data == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if cfg.Data.Features.Cols != cfg.Model.Cfg.Dims[0] {
+		return nil, fmt.Errorf("core: dataset features are %d-dim, model expects %d",
+			cfg.Data.Features.Cols, cfg.Model.Cfg.Dims[0])
+	}
+	if len(cfg.Fanouts) != cfg.Model.Cfg.Layers() {
+		return nil, fmt.Errorf("core: %d fanouts for %d layers", len(cfg.Fanouts), cfg.Model.Cfg.Layers())
+	}
+	if cfg.Device < 0 || cfg.Device > len(cfg.Plat.Accels) {
+		return nil, fmt.Errorf("core: device %d outside [0,%d]", cfg.Device, len(cfg.Plat.Accels))
+	}
+	quarter := cfg.Plat.TotalCPUCores() / 4
+	if cfg.SampThreads <= 0 {
+		cfg.SampThreads = max(1, quarter)
+	}
+	if cfg.LoadThreads <= 0 {
+		cfg.LoadThreads = max(1, quarter)
+	}
+	work := perfmodel.Workload{
+		Spec: cfg.Data.Spec, Model: cfg.Model.Cfg.Kind,
+		BatchSize: 1, Fanouts: cfg.Fanouts,
+	}
+	if cfg.QuantizeTransfer {
+		work.TransferBytesPerFeat = 1
+	}
+	pm, err := perfmodel.New(cfg.Plat, work)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := sampler.New(cfg.Data.Graph, cfg.Fanouts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &InferencePipeline{
+		cfg:   cfg,
+		pm:    pm,
+		smp:   smp,
+		clock: NewPipelineClock(true, false),
+		rng:   tensor.NewRNG(cfg.Seed),
+	}, nil
+}
+
+// Model returns the perfmodel pricing this pipeline's virtual charges.
+func (p *InferencePipeline) Model() *perfmodel.Model { return p.pm }
+
+// AvailableAt returns the virtual completion time of the worker's last batch
+// (0 when idle since start) — the dispatcher's load signal.
+func (p *InferencePipeline) AvailableAt() float64 { return p.clock.Now() }
+
+// RunBatch samples the L-hop fanout of the target vertices, gathers their
+// input features, and propagates only that subgraph, returning the logits
+// and the virtual stage times of the batch.
+func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
+	mb, err := p.smp.Sample(targets, p.rng)
+	if err != nil {
+		return nil, err
+	}
+	x := tensor.New(len(mb.InputNodes()), p.cfg.Data.Features.Cols)
+	tensor.GatherRows(x, p.cfg.Data.Features, mb.InputNodes())
+	sz := actualSizes(mb)
+	st := perfmodel.StageTimes{
+		SampCPU: p.pm.SampleTimeCPUEdges(float64(mb.EdgesTraversed()), p.cfg.SampThreads),
+		Load:    p.pm.LoadTimeForRows(sz.VL[0], p.cfg.LoadThreads),
+	}
+	if p.cfg.Device > 0 {
+		if p.cfg.QuantizeTransfer {
+			tensor.QuantizeRoundTrip(x) // inject the real int8 loss
+		}
+		st.Trans = p.pm.TransferTimeFor(sz)
+		st.TrainAcc = p.pm.PropWithOverheads(p.cfg.Plat.Accels[p.cfg.Device-1], sz, 1)
+	} else {
+		cores := p.cfg.Plat.TotalCPUCores()
+		share := float64(cores-p.cfg.SampThreads-p.cfg.LoadThreads) / float64(cores)
+		if share <= 0 {
+			share = 0.5
+		}
+		st.TrainCPU = p.pm.PropWithOverheads(p.cfg.Plat.CPU, sz, share)
+	}
+	logits, err := p.cfg.Model.InferMiniBatch(mb, x)
+	if err != nil {
+		return nil, err
+	}
+	return &InferResult{
+		Stage:     st,
+		Logits:    logits,
+		Targets:   mb.Targets,
+		Edges:     float64(mb.EdgesTraversed()),
+		InputRows: len(mb.InputNodes()),
+	}, nil
+}
+
+// CompleteAfter pushes a batch's stage times through the worker's pipeline
+// clock, starting no earlier than ready, and returns the virtual completion
+// time. Consecutive batches overlap stage-wise exactly as training
+// iterations do (sampling batch k+1 runs while batch k propagates).
+func (p *InferencePipeline) CompleteAfter(ready float64, st perfmodel.StageTimes) float64 {
+	return p.clock.AdvanceAfter(ready, st)
+}

@@ -32,12 +32,9 @@ type IterResult struct {
 	RemoteRows int     // feature rows fetched from remote shards
 }
 
-// Overheads charged by the runtime's virtual clock (mirrors pipesim).
-const (
-	flushFraction       = 0.06
-	kernelsPerIteration = 4
-	runtimeBarrierSec   = 120e-6
-)
+// Overheads charged by the runtime's virtual clock (shared with the analytic
+// serving model; mirrors pipesim).
+const runtimeBarrierSec = perfmodel.RuntimeBarrierSec
 
 // hybridExecutor is the default StageExecutor: the paper's hybrid CPU +
 // accelerator pipeline over the engine's replica fleet.
@@ -253,13 +250,9 @@ func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
 		if !e.cfg.Hybrid {
 			share = 1 // CPU-only platform fallback
 		}
-		res.propSec = e.pm.PropTimeFor(e.cfg.Plat.CPU, sz, share) +
-			e.cfg.Plat.CPU.FrameworkOverheadMs*1e-3
+		res.propSec = e.pm.PropWithOverheads(e.cfg.Plat.CPU, sz, share)
 	} else {
-		dev := e.cfg.Plat.Accels[idx-1]
-		t := e.pm.PropTimeFor(dev, sz, 1)
-		res.propSec = t*(1+flushFraction) + dev.FrameworkOverheadMs*1e-3 +
-			kernelsPerIteration*dev.KernelLaunchUs*1e-6
+		res.propSec = e.pm.PropWithOverheads(e.cfg.Plat.Accels[idx-1], sz, 1)
 	}
 	return res
 }

@@ -2,17 +2,19 @@ package gnn
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
+	"repro/internal/sampler"
 	"repro/internal/tensor"
 )
 
 // InferFullGraph computes embeddings for every vertex with exact (unsampled)
 // layer-wise propagation over the whole graph — the standard way trained
-// sampling-based models are evaluated (GraphSAGE §3.1). Memory is
-// O(|V|·maxDim); intended for the scaled datasets of this repository.
-// Returns the final-layer logits (|V| × fL).
+// sampling-based models are evaluated (GraphSAGE §3.1). It runs the same
+// layer-propagation kernels as the sampled paths, over the full-graph block,
+// with the per-vertex aggregation loop row-parallel across CPU workers.
+// Memory is O(|V|·maxDim); intended for the scaled datasets of this
+// repository. Returns the final-layer logits (|V| × fL).
 func (m *Model) InferFullGraph(g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix, error) {
 	if g.NumVertices != x.Rows {
 		return nil, fmt.Errorf("gnn: %d feature rows for %d vertices", x.Rows, g.NumVertices)
@@ -20,84 +22,66 @@ func (m *Model) InferFullGraph(g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix
 	if x.Cols != m.Cfg.Dims[0] {
 		return nil, fmt.Errorf("gnn: features %d-dim, model expects %d", x.Cols, m.Cfg.Dims[0])
 	}
-	L := m.Cfg.Layers()
+	blk, err := sampler.FullGraphBlock(g)
+	if err != nil {
+		return nil, err
+	}
+	// The coefficients depend only on the topology and the model kind, so one
+	// neighborhood serves every layer.
+	nb := NewNeighborhood(m.Cfg, blk)
 	h := x
-	n := g.NumVertices
-	degrees := m.Cfg.Degrees
-	for l := 0; l < L; l++ {
-		fin := m.Cfg.Dims[l]
-		agg := tensor.New(n, fin)
-		for v := 0; v < n; v++ {
-			nbrs := g.Neighbors(int32(v))
-			out := agg.Row(v)
-			switch m.Cfg.Kind {
-			case GCN:
-				if degrees != nil {
-					nv := 1 / sqrt32(float32(degrees[v])+1)
-					self := h.Row(v)
-					for j := range out {
-						out[j] = nv * nv * self[j]
-					}
-					for _, u := range nbrs {
-						w := nv / sqrt32(float32(degrees[u])+1)
-						row := h.Row(int(u))
-						for j := range out {
-							out[j] += w * row[j]
-						}
-					}
-				} else {
-					inv := float32(1) / float32(len(nbrs)+1)
-					self := h.Row(v)
-					for j := range out {
-						out[j] = inv * self[j]
-					}
-					for _, u := range nbrs {
-						row := h.Row(int(u))
-						for j := range out {
-							out[j] += inv * row[j]
-						}
-					}
-				}
-			case SAGE:
-				if len(nbrs) > 0 {
-					inv := float32(1) / float32(len(nbrs))
-					for _, u := range nbrs {
-						row := h.Row(int(u))
-						for j := range out {
-							out[j] += inv * row[j]
-						}
-					}
-				}
-			case GIN:
-				selfCoef := float32(1 + m.Cfg.GINEps)
-				self := h.Row(v)
-				for j := range out {
-					out[j] = selfCoef * self[j]
-				}
-				for _, u := range nbrs {
-					row := h.Row(int(u))
-					for j := range out {
-						out[j] += row[j]
-					}
-				}
-			}
-		}
-		var dense *tensor.Matrix
-		if m.Cfg.Kind == SAGE {
-			dense = tensor.New(n, 2*fin)
-			tensor.ConcatCols(dense, h, agg)
-		} else {
-			dense = agg
-		}
-		z := tensor.New(n, m.Cfg.Dims[l+1])
-		tensor.MatMul(z, dense, m.Params.Weights[l])
-		tensor.AddBias(z, m.Params.Biases[l])
-		if l < L-1 {
-			tensor.ReLU(z)
+	for l := 0; l < m.Cfg.Layers(); l++ {
+		z, _, _, err := m.PropagateLayer(l, nb, h)
+		if err != nil {
+			return nil, err
 		}
 		h = z
 	}
 	return h, nil
+}
+
+// InferMiniBatch runs the forward-only pass over a sampled fanout and
+// returns the logits for mb's target vertices (|targets| × fL). It is the
+// serving-path counterpart of Forward: same kernels, no state retained for a
+// backward pass. x holds the gathered input features for mb.InputNodes().
+func (m *Model) InferMiniBatch(mb *sampler.MiniBatch, x *tensor.Matrix) (*tensor.Matrix, error) {
+	L := m.Cfg.Layers()
+	if len(mb.Blocks) != L {
+		return nil, fmt.Errorf("gnn: mini-batch has %d blocks, model has %d layers", len(mb.Blocks), L)
+	}
+	if x.Rows != len(mb.InputNodes()) || x.Cols != m.Cfg.Dims[0] {
+		return nil, fmt.Errorf("gnn: feature matrix %dx%d, want %dx%d",
+			x.Rows, x.Cols, len(mb.InputNodes()), m.Cfg.Dims[0])
+	}
+	h := x
+	for l := 0; l < L; l++ {
+		z, _, _, err := m.PropagateLayer(l, NewNeighborhood(m.Cfg, mb.Blocks[l]), h)
+		if err != nil {
+			return nil, err
+		}
+		h = z
+	}
+	return h, nil
+}
+
+// InferVertices answers a per-request query: it samples the L-hop fanout of
+// the given target vertices, gathers their input features, and propagates
+// only that subgraph. Fanout 0 at every layer makes the result exact
+// (identical to the targets' rows of InferFullGraph); positive fanouts trade
+// accuracy for bounded work, converging to the exact logits as they grow.
+func (m *Model) InferVertices(g *graph.Graph, x *tensor.Matrix, fanouts []int,
+	targets []int32, rng *tensor.RNG) (*tensor.Matrix, error) {
+	s, err := sampler.New(g, fanouts, nil)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := s.Sample(targets, rng)
+	if err != nil {
+		return nil, err
+	}
+	feats := tensor.New(len(mb.InputNodes()), x.Cols)
+	tensor.GatherRows(feats, x, mb.InputNodes())
+	return m.InferMiniBatch(mb, feats)
 }
 
 // Evaluate runs full-graph inference and returns the accuracy over the
@@ -125,5 +109,3 @@ func (m *Model) Evaluate(g *graph.Graph, x *tensor.Matrix, labels []int32, idx [
 	}
 	return float64(correct) / float64(len(idx)), nil
 }
-
-func sqrt32(v float32) float32 { return float32(math.Sqrt(float64(v))) }

@@ -131,3 +131,117 @@ func TestEvaluateEmptySet(t *testing.T) {
 		t.Fatal("expected error for empty evaluation set")
 	}
 }
+
+// The parallel per-vertex aggregation must produce exactly what the serial
+// path produces: each destination row is computed by one worker, so the
+// summation order within a row is unchanged.
+func TestInferFullGraphParallelMatchesSerial(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE, GIN} {
+		rng := tensor.NewRNG(6)
+		spec := datagen.Spec{Name: "par", NumVertices: 400, NumEdges: 2400, FeatDims: []int{12, 10, 5}}
+		ds, err := datagen.Materialize(spec, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewModel(Config{Kind: kind, Dims: spec.FeatDims}, rng)
+		prev := tensor.SetParallelism(1)
+		serial, err := m.InferFullGraph(ds.Graph, ds.Features)
+		tensor.SetParallelism(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := m.InferFullGraph(ds.Graph, ds.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serial.Equal(parallel) {
+			t.Fatalf("%v: parallel inference diverged from serial (max diff %g)",
+				kind, serial.MaxAbsDiff(parallel))
+		}
+	}
+}
+
+// Mini-batch inference over a sampled fanout must converge to the exact
+// full-graph logits as the fanout grows, and match them exactly (up to
+// float accumulation) at fanout 0 (take-all).
+func TestInferMiniBatchConvergesToFullGraph(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE} {
+		rng := tensor.NewRNG(7)
+		spec := datagen.Spec{Name: "conv", NumVertices: 500, NumEdges: 6000, FeatDims: []int{10, 8, 4}}
+		ds, err := datagen.Materialize(spec, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewModel(Config{Kind: kind, Dims: spec.FeatDims}, rng)
+		full, err := m.InferFullGraph(ds.Graph, ds.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets := make([]int32, 64)
+		for i := range targets {
+			targets[i] = int32(rng.Intn(ds.Graph.NumVertices))
+		}
+		meanErr := func(fanout int) float64 {
+			var sum float64
+			var n int
+			for seed := uint64(0); seed < 5; seed++ {
+				logits, err := m.InferVertices(ds.Graph, ds.Features,
+					[]int{fanout, fanout}, targets, tensor.NewRNG(100+seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range targets {
+					for j := 0; j < logits.Cols; j++ {
+						d := float64(logits.At(i, j) - full.At(int(v), j))
+						if d < 0 {
+							d = -d
+						}
+						sum += d
+						n++
+					}
+				}
+			}
+			return sum / float64(n)
+		}
+		errSmall, errLarge, errExact := meanErr(1), meanErr(6), meanErr(0)
+		if errExact > 1e-4 {
+			t.Fatalf("%v: take-all fanout error %g, want ~0", kind, errExact)
+		}
+		if errLarge >= errSmall {
+			t.Fatalf("%v: fanout 6 error %g not below fanout 1 error %g — no convergence",
+				kind, errLarge, errSmall)
+		}
+	}
+}
+
+// Before/after for the parallelized per-vertex aggregation loop:
+//
+//	go test ./internal/gnn -bench InferFullGraph -run xxx
+//
+// reports the serial (pre-PR) and parallel (current) full-graph inference
+// side by side.
+func BenchmarkInferFullGraph(b *testing.B) {
+	rng := tensor.NewRNG(8)
+	spec := datagen.Spec{Name: "bench", NumVertices: 4000, NumEdges: 48000, FeatDims: []int{64, 32, 8}}
+	ds, err := datagen.Materialize(spec, 1.0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewModel(Config{Kind: SAGE, Dims: spec.FeatDims}, rng)
+	b.Run("serial-before", func(b *testing.B) {
+		prev := tensor.SetParallelism(1)
+		defer tensor.SetParallelism(prev)
+		for i := 0; i < b.N; i++ {
+			if _, err := m.InferFullGraph(ds.Graph, ds.Features); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-after", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.InferFullGraph(ds.Graph, ds.Features); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Layer-propagation kernels: the aggregate-over-neighbor-set and dense-update
+// primitives shared by every execution path in the system — sampled training
+// (Forward/Backward), exact full-graph inference (InferFullGraph), and
+// sampled mini-batch inference (InferMiniBatch). A Neighborhood captures the
+// message structure of one bipartite layer with its aggregation coefficients
+// pre-resolved for the model kind (GCN/SAGE/GIN), so callers compose layers
+// without re-implementing the aggregator.
+
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// Neighborhood is one layer's message structure ready for propagation: a
+// bipartite edge set (CSC over destinations, Col holding local source
+// indices) plus the per-edge and per-destination-self coefficients the model
+// kind assigns. Destination d's self feature is source row d (Dst is a
+// prefix of Src in every Block, including the full-graph block).
+type Neighborhood struct {
+	Block *sampler.Block
+	EdgeW []float32 // aggregation coefficient per edge
+	SelfW []float32 // self-loop coefficient per destination (0 for SAGE)
+}
+
+// NewNeighborhood resolves cfg's aggregation coefficients for a block.
+func NewNeighborhood(cfg Config, b *sampler.Block) *Neighborhood {
+	edgeW, selfW := EdgeWeights(cfg, b)
+	return &Neighborhood{Block: b, EdgeW: edgeW, SelfW: selfW}
+}
+
+// NumDst returns the number of destination vertices.
+func (nb *Neighborhood) NumDst() int { return len(nb.Block.Dst) }
+
+// Aggregate computes the weighted neighbor sum for every destination:
+// out[d] = SelfW[d]·h[d] + Σ_e EdgeW[e]·h[Col[e]]. out is |Dst| × h.Cols.
+// Destinations are independent, so the loop is row-parallel.
+func (nb *Neighborhood) Aggregate(out, h *tensor.Matrix) {
+	b := nb.Block
+	cols := h.Cols
+	tensor.ParallelRows(len(b.Dst), func(lo, hi int) {
+		for d := lo; d < hi; d++ {
+			orow := out.Row(d)
+			if w := nb.SelfW[d]; w != 0 {
+				hrow := h.Row(d) // Dst is a prefix of Src: local index d is the self row
+				for j := range orow {
+					orow[j] = w * hrow[j]
+				}
+			} else {
+				for j := range orow {
+					orow[j] = 0
+				}
+			}
+			for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+				w := nb.EdgeW[e]
+				hrow := h.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
+				for j := range orow {
+					orow[j] += w * hrow[j]
+				}
+			}
+		}
+	})
+}
+
+// AggregateBackward scatters dAgg back to the sources with the same
+// coefficients (the transpose of Aggregate). dh must be zeroed by the
+// caller. Sources are shared between destinations, so the scatter stays
+// serial to avoid write races.
+func (nb *Neighborhood) AggregateBackward(dh, dAgg *tensor.Matrix) {
+	b := nb.Block
+	cols := dh.Cols
+	for d := 0; d < len(b.Dst); d++ {
+		grow := dAgg.Row(d)
+		if w := nb.SelfW[d]; w != 0 {
+			drow := dh.Row(d)
+			for j := range grow {
+				drow[j] += w * grow[j]
+			}
+		}
+		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+			w := nb.EdgeW[e]
+			drow := dh.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
+			for j := range grow {
+				drow[j] += w * grow[j]
+			}
+		}
+	}
+}
+
+// PropagateLayer runs layer l over a neighborhood: aggregation, SAGE's
+// self-concatenation when applicable, the dense update, and the hidden-layer
+// ReLU. h holds the layer input over the neighborhood's sources. It returns
+// the layer output z (|Dst| × Dims[l+1]), the dense-update input (retained
+// by training for the backward pass), and the ReLU mask (nil for the output
+// layer).
+func (m *Model) PropagateLayer(l int, nb *Neighborhood, h *tensor.Matrix) (z, dense, mask *tensor.Matrix, err error) {
+	L := m.Cfg.Layers()
+	if l < 0 || l >= L {
+		return nil, nil, nil, fmt.Errorf("gnn: layer %d outside [0,%d)", l, L)
+	}
+	fin := m.Cfg.Dims[l]
+	if h.Cols != fin {
+		return nil, nil, nil, fmt.Errorf("gnn: layer %d input %d-dim, want %d", l, h.Cols, fin)
+	}
+	if h.Rows != len(nb.Block.Src) {
+		return nil, nil, nil, fmt.Errorf("gnn: layer %d input has %d rows for %d sources",
+			l, h.Rows, len(nb.Block.Src))
+	}
+	nd := nb.NumDst()
+	if m.Cfg.Kind == SAGE {
+		mean := tensor.New(nd, fin)
+		nb.Aggregate(mean, h)
+		self := tensor.New(nd, fin)
+		tensor.GatherRows(self, h, selfIdx(nd))
+		dense = tensor.New(nd, 2*fin)
+		tensor.ConcatCols(dense, self, mean)
+	} else {
+		dense = tensor.New(nd, fin)
+		nb.Aggregate(dense, h)
+	}
+	z = tensor.New(nd, m.Cfg.Dims[l+1])
+	tensor.MatMul(z, dense, m.Params.Weights[l])
+	tensor.AddBias(z, m.Params.Biases[l])
+	if l < L-1 {
+		mask = tensor.ReLU(z)
+	}
+	return z, dense, mask, nil
+}

@@ -17,12 +17,6 @@ type ForwardState struct {
 	Logits *tensor.Matrix   // |targets| × fL
 }
 
-// edgeWeights returns, for block b, the coefficient of each edge and the
-// self-loop coefficient of each destination under the model's aggregator.
-func (m *Model) edgeWeights(b *sampler.Block) (edgeW []float32, selfW []float32) {
-	return EdgeWeights(m.Cfg, b)
-}
-
 // EdgeWeights computes the aggregation coefficients a model configuration
 // assigns to a block's edges and self loops. Exported so alternative
 // execution backends (the accelerator kernel simulator) use the exact same
@@ -82,54 +76,6 @@ func EdgeWeights(cfg Config, b *sampler.Block) (edgeW []float32, selfW []float32
 	return edgeW, selfW
 }
 
-// aggregate computes the weighted neighbor sum for a block:
-// out[d] = selfW[d]·h[d] + Σ_e edgeW[e]·h[Col[e]]. out is |Dst| × h.Cols.
-func aggregate(out, h *tensor.Matrix, b *sampler.Block, edgeW, selfW []float32) {
-	cols := h.Cols
-	for d := 0; d < len(b.Dst); d++ {
-		orow := out.Row(d)
-		if w := selfW[d]; w != 0 {
-			hrow := h.Row(d) // Dst is a prefix of Src: local index d is the self row
-			for j := range orow {
-				orow[j] = w * hrow[j]
-			}
-		} else {
-			for j := range orow {
-				orow[j] = 0
-			}
-		}
-		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
-			w := edgeW[e]
-			hrow := h.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
-			for j := range orow {
-				orow[j] += w * hrow[j]
-			}
-		}
-	}
-}
-
-// aggregateBackward scatters dAgg back to the sources with the same
-// coefficients (the transpose of aggregate). dh must be zeroed by the caller.
-func aggregateBackward(dh, dAgg *tensor.Matrix, b *sampler.Block, edgeW, selfW []float32) {
-	cols := dh.Cols
-	for d := 0; d < len(b.Dst); d++ {
-		grow := dAgg.Row(d)
-		if w := selfW[d]; w != 0 {
-			drow := dh.Row(d)
-			for j := range grow {
-				drow[j] += w * grow[j]
-			}
-		}
-		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
-			w := edgeW[e]
-			drow := dh.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
-			for j := range grow {
-				drow[j] += w * grow[j]
-			}
-		}
-	}
-}
-
 // Forward runs the L-layer forward pass. x holds the gathered input features
 // for mb.InputNodes() (|V0| × f0) and is not mutated. The returned state
 // feeds Backward; state.Logits holds the output-layer pre-softmax scores.
@@ -150,32 +96,13 @@ func (m *Model) Forward(mb *sampler.MiniBatch, x *tensor.Matrix) (*ForwardState,
 	}
 	h := x
 	for l := 0; l < L; l++ {
-		b := mb.Blocks[l]
 		st.inputs[l] = h
-		edgeW, selfW := m.edgeWeights(b)
-		nd := len(b.Dst)
-		fin := m.Cfg.Dims[l]
-
-		var dense *tensor.Matrix // input to the dense update: nd × inDim(l)
-		if m.Cfg.Kind == SAGE {
-			mean := tensor.New(nd, fin)
-			aggregate(mean, h, b, edgeW, selfW)
-			self := tensor.New(nd, fin)
-			tensor.GatherRows(self, h, selfIdx(nd))
-			dense = tensor.New(nd, 2*fin)
-			tensor.ConcatCols(dense, self, mean)
-		} else {
-			dense = tensor.New(nd, fin)
-			aggregate(dense, h, b, edgeW, selfW)
+		z, dense, mask, err := m.PropagateLayer(l, NewNeighborhood(m.Cfg, mb.Blocks[l]), h)
+		if err != nil {
+			return nil, err
 		}
 		st.aggs[l] = dense
-
-		z := tensor.New(nd, m.Cfg.Dims[l+1])
-		tensor.MatMul(z, dense, m.Params.Weights[l])
-		tensor.AddBias(z, m.Params.Biases[l])
-		if l < L-1 {
-			st.masks[l] = tensor.ReLU(z)
-		}
+		st.masks[l] = mask
 		h = z
 	}
 	st.Logits = h
@@ -216,15 +143,15 @@ func (m *Model) Backward(st *ForwardState, dLogits *tensor.Matrix) (*Gradients, 
 		// Aggregation backward into the layer input.
 		fin := m.Cfg.Dims[l]
 		dh := tensor.New(len(b.Src), fin)
-		edgeW, selfW := m.edgeWeights(b)
+		nb := NewNeighborhood(m.Cfg, b)
 		if m.Cfg.Kind == SAGE {
 			dSelf := tensor.New(dz.Rows, fin)
 			dMean := tensor.New(dz.Rows, fin)
 			tensor.SplitCols(dSelf, dMean, dDense)
 			tensor.ScatterAddRows(dh, dSelf, selfIdx(dz.Rows))
-			aggregateBackward(dh, dMean, b, edgeW, selfW)
+			nb.AggregateBackward(dh, dMean)
 		} else {
-			aggregateBackward(dh, dDense, b, edgeW, selfW)
+			nb.AggregateBackward(dh, dDense)
 		}
 		dz = dh
 	}

@@ -377,6 +377,32 @@ func (m *Model) PropTimeFor(dev hw.Device, s Sizes, cpuShare float64) float64 {
 	return fwd + bwd
 }
 
+// Per-batch overheads the executing runtime charges on top of the analytic
+// Eq. 10 propagation time (the two error sources §VI-C identifies, plus the
+// host-side framework cost). Exported so the runtime (internal/core) and the
+// analytic serving model price them identically.
+const (
+	// FlushFraction is the pipeline-flush overhead of an accelerator batch.
+	FlushFraction = 0.06
+	// KernelsPerIteration is how many device kernels one batch launches.
+	KernelsPerIteration = 4
+	// RuntimeBarrierSec is the host-side synchronization barrier between
+	// pipeline stages.
+	RuntimeBarrierSec = 120e-6
+)
+
+// PropWithOverheads returns PropTimeFor plus the per-batch device overheads
+// the executing runtime charges: framework overhead on every device, and
+// pipeline flush + kernel launches on accelerators.
+func (m *Model) PropWithOverheads(dev hw.Device, s Sizes, cpuShare float64) float64 {
+	t := m.PropTimeFor(dev, s, cpuShare)
+	if dev.Kind == hw.CPU {
+		return t + dev.FrameworkOverheadMs*1e-3
+	}
+	return t*(1+FlushFraction) + dev.FrameworkOverheadMs*1e-3 +
+		KernelsPerIteration*dev.KernelLaunchUs*1e-6
+}
+
 // TrainTimeCPU returns T_TC for the CPU trainer under the assignment.
 func (m *Model) TrainTimeCPU(a Assignment) float64 {
 	if a.CPUBatch == 0 || a.TrainThreads == 0 {

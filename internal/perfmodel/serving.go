@@ -1,0 +1,146 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Serving equations: the paper's per-stage cost model (§V, Eqs. 5–13)
+// generalized from training iterations to online inference batches. A
+// serving batch runs the same pipeline stages as a training iteration —
+// fanout sampling, feature loading, PCIe transfer, propagation — minus the
+// backward pass and gradient sync, so each stage reuses the training
+// primitives over the expected sampled-set sizes of the dynamic batcher's
+// batch. The validated quantities are the per-batch service time and the
+// steady-state capacity (the bench's ext-serve table asserts the executed
+// virtual-clock times land within ±35% of these); the latency percentiles
+// are first-order queueing estimates for sizing, not guarantees.
+
+// ServingLoad describes an open-loop request stream hitting a serving
+// deployment: offered load, the dynamic batcher's knobs, the worker pool,
+// and the steady-state embedding-cache behavior.
+type ServingLoad struct {
+	RatePerSec float64 // offered load λ (accepted requests per second)
+	MaxBatch   int     // dynamic batcher's size cap
+	WindowSec  float64 // dynamic batcher's max-wait deadline
+	Workers    int     // serving workers (pipelines) draining batches
+	// ComputeFrac is the fraction of requests that miss the embedding cache
+	// and need the full sample→propagate pipeline (1 = cold cache). The
+	// cache hit rate itself depends on the request popularity distribution
+	// and cache capacity; it is measured by the serving runtime and fed
+	// back here.
+	ComputeFrac float64
+	// Accel selects accelerator propagation (features cross PCIe, as in
+	// hybrid training); false serves on the CPU trainer.
+	Accel bool
+	// SampThreads/LoadThreads are the CPU threads charged for sampling and
+	// gathering; zero defaults to a quarter of the cores each.
+	SampThreads, LoadThreads int
+}
+
+// ServingPrediction is the analytic model's answer for a ServingLoad.
+type ServingPrediction struct {
+	BatchSize float64 // expected requests per closed batch
+	Computed  float64 // expected cache-missing targets per batch
+	Stage     StageTimes
+	// ServiceSec is one batch's latency through an empty pipeline: the
+	// serial sum of its stages plus the runtime's stage barriers.
+	ServiceSec float64
+	// CycleSec is the steady-state per-worker batch cadence: the slowest
+	// pipeline stage (batches overlap stage-wise, Eq. 6 applied to serving).
+	CycleSec float64
+	// CapacityRPS is the saturation throughput Workers·BatchSize/CycleSec.
+	CapacityRPS float64
+	Utilization float64 // offered load over capacity
+	// ThroughputRPS is the predicted served rate: the offered load, capped
+	// by capacity.
+	ThroughputRPS float64
+	// BatchWaitSec is the mean time a request spends in the batcher before
+	// its batch closes.
+	BatchWaitSec   float64
+	P50Sec, P99Sec float64 // first-order latency estimates
+}
+
+// PredictServing evaluates the serving equations for a load on this
+// platform + workload.
+func (m *Model) PredictServing(l ServingLoad) (ServingPrediction, error) {
+	if l.RatePerSec <= 0 {
+		return ServingPrediction{}, fmt.Errorf("perfmodel: non-positive request rate %v", l.RatePerSec)
+	}
+	if l.MaxBatch <= 0 {
+		return ServingPrediction{}, fmt.Errorf("perfmodel: non-positive max batch %d", l.MaxBatch)
+	}
+	if l.WindowSec < 0 {
+		return ServingPrediction{}, fmt.Errorf("perfmodel: negative batch window %v", l.WindowSec)
+	}
+	if l.Workers <= 0 {
+		return ServingPrediction{}, fmt.Errorf("perfmodel: non-positive worker count %d", l.Workers)
+	}
+	if l.ComputeFrac < 0 || l.ComputeFrac > 1 {
+		return ServingPrediction{}, fmt.Errorf("perfmodel: compute fraction %v outside [0,1]", l.ComputeFrac)
+	}
+	if l.Accel && len(m.Plat.Accels) == 0 {
+		return ServingPrediction{}, fmt.Errorf("perfmodel: accelerator serving on %s, which has none", m.Plat.Name)
+	}
+	cores := m.Plat.TotalCPUCores()
+	quarter := cores / 4
+	if l.SampThreads <= 0 {
+		l.SampThreads = max(1, quarter)
+	}
+	if l.LoadThreads <= 0 {
+		l.LoadThreads = max(1, quarter)
+	}
+
+	var p ServingPrediction
+	// Expected batch size of the dynamic batcher under open-loop arrivals:
+	// the batch closes either when the MaxBatch-th request arrives (expected
+	// after (B−1)/λ) or at the window deadline, whichever is first.
+	p.BatchSize = math.Min(float64(l.MaxBatch), 1+l.RatePerSec*l.WindowSec)
+	p.BatchWaitSec = math.Min(l.WindowSec, (float64(l.MaxBatch)-1)/l.RatePerSec) / 2
+	p.Computed = p.BatchSize * l.ComputeFrac
+
+	if p.Computed > 0 {
+		// Expected sampled-set sizes for the computed targets, through the
+		// same expectation model as training (duplicate collapse included).
+		sz := m.Work.SizesFor(max(1, int(math.Round(p.Computed))))
+		var edges float64
+		for _, e := range sz.EL {
+			edges += e
+		}
+		p.Stage.SampCPU = m.SampleTimeCPUEdges(edges, l.SampThreads)
+		p.Stage.Load = m.LoadTimeForRows(sz.VL[0], l.LoadThreads)
+		if l.Accel {
+			p.Stage.Trans = m.TransferTimeFor(sz)
+			p.Stage.TrainAcc = m.PropWithOverheads(m.Plat.Accels[0], sz, 1)
+		} else {
+			share := float64(cores-l.SampThreads-l.LoadThreads) / float64(cores)
+			if share <= 0 {
+				share = 0.5
+			}
+			p.Stage.TrainCPU = m.PropWithOverheads(m.Plat.CPU, sz, share)
+		}
+	}
+	prop := math.Max(p.Stage.TrainCPU, p.Stage.TrainAcc)
+	// The runtime's pipeline clock charges one barrier per stage (sampling,
+	// loading, transfer, propagation under TFP).
+	const barriers = 4 * RuntimeBarrierSec
+	p.ServiceSec = p.Stage.SampCPU + p.Stage.Load + p.Stage.Trans + prop + barriers
+	p.CycleSec = math.Max(math.Max(p.Stage.SampCPU, p.Stage.Load),
+		math.Max(p.Stage.Trans, prop)) + RuntimeBarrierSec
+
+	p.CapacityRPS = float64(l.Workers) * p.BatchSize / p.CycleSec
+	p.Utilization = l.RatePerSec / p.CapacityRPS
+	p.ThroughputRPS = math.Min(l.RatePerSec, p.CapacityRPS)
+
+	// First-order latency: batcher wait + service, plus an M/D/c-style
+	// queueing term that diverges as utilization approaches 1.
+	queue := 0.0
+	if p.Utilization < 1 {
+		queue = p.Utilization / (1 - p.Utilization) * p.CycleSec / 2
+	} else {
+		queue = math.Inf(1)
+	}
+	p.P50Sec = p.BatchWaitSec + p.ServiceSec + queue
+	p.P99Sec = 2*p.BatchWaitSec + p.ServiceSec + 3*queue
+	return p, nil
+}

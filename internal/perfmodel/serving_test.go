@@ -1,0 +1,113 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+)
+
+func servingModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(hw.CPUFPGAPlatform(), DefaultWorkload(datagen.OGBNProducts, gnn.SAGE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPredictServingValidation(t *testing.T) {
+	m := servingModel(t)
+	base := ServingLoad{RatePerSec: 1000, MaxBatch: 32, WindowSec: 1e-3, Workers: 2, ComputeFrac: 1, Accel: true}
+	for name, mutate := range map[string]func(*ServingLoad){
+		"rate":    func(l *ServingLoad) { l.RatePerSec = 0 },
+		"batch":   func(l *ServingLoad) { l.MaxBatch = 0 },
+		"window":  func(l *ServingLoad) { l.WindowSec = -1 },
+		"workers": func(l *ServingLoad) { l.Workers = 0 },
+		"frac":    func(l *ServingLoad) { l.ComputeFrac = 1.5 },
+	} {
+		l := base
+		mutate(&l)
+		if _, err := m.PredictServing(l); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	cpuOnly, err := New(hw.CPUFPGAPlatform().WithAccelCount(0), DefaultWorkload(datagen.OGBNProducts, gnn.SAGE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpuOnly.PredictServing(base); err == nil {
+		t.Fatal("accelerator serving on an accelerator-less platform must error")
+	}
+}
+
+func TestPredictServingBatchFormation(t *testing.T) {
+	m := servingModel(t)
+	// Window-closed: λ·w = 1000 · 1ms = 1 → batch ≈ 2, far below the cap.
+	p, err := m.PredictServing(ServingLoad{RatePerSec: 1000, MaxBatch: 64, WindowSec: 1e-3,
+		Workers: 1, ComputeFrac: 1, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BatchSize != 2 {
+		t.Fatalf("window-closed batch %v, want 2", p.BatchSize)
+	}
+	// Size-closed: λ·w ≫ B.
+	p, err = m.PredictServing(ServingLoad{RatePerSec: 1e6, MaxBatch: 64, WindowSec: 1e-3,
+		Workers: 1, ComputeFrac: 1, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BatchSize != 64 {
+		t.Fatalf("size-closed batch %v, want 64", p.BatchSize)
+	}
+	if p.BatchWaitSec >= 1e-3 {
+		t.Fatalf("size-closed wait %v should undercut the window", p.BatchWaitSec)
+	}
+}
+
+func TestPredictServingMonotonicity(t *testing.T) {
+	m := servingModel(t)
+	at := func(window float64, frac float64) ServingPrediction {
+		p, err := m.PredictServing(ServingLoad{RatePerSec: 2000, MaxBatch: 256, WindowSec: window,
+			Workers: 2, ComputeFrac: frac, Accel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Wider window → bigger batches → more capacity, higher batch wait.
+	narrow, wide := at(0.5e-3, 1), at(8e-3, 1)
+	if wide.BatchSize <= narrow.BatchSize || wide.CapacityRPS <= narrow.CapacityRPS {
+		t.Fatalf("capacity not monotone in window: %v vs %v", narrow.CapacityRPS, wide.CapacityRPS)
+	}
+	if wide.BatchWaitSec <= narrow.BatchWaitSec || wide.P50Sec <= narrow.P50Sec {
+		t.Fatalf("latency not monotone in window")
+	}
+	// More cache hits → less compute per batch → cheaper service.
+	cold, warm := at(2e-3, 1), at(2e-3, 0.25)
+	if warm.ServiceSec >= cold.ServiceSec || warm.CapacityRPS <= cold.CapacityRPS {
+		t.Fatalf("cache relief missing: service %v vs %v", warm.ServiceSec, cold.ServiceSec)
+	}
+	// Fully cached: no pipeline work at all.
+	free := at(2e-3, 0)
+	if free.Stage.SampCPU != 0 || free.Stage.TrainAcc != 0 {
+		t.Fatalf("compute charged at 100%% hit rate: %+v", free.Stage)
+	}
+}
+
+func TestPredictServingOverloadDiverges(t *testing.T) {
+	m := servingModel(t)
+	p, err := m.PredictServing(ServingLoad{RatePerSec: 1e9, MaxBatch: 8, WindowSec: 0,
+		Workers: 1, ComputeFrac: 1, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Utilization <= 1 {
+		t.Fatalf("utilization %v at absurd load", p.Utilization)
+	}
+	if p.ThroughputRPS != p.CapacityRPS {
+		t.Fatalf("overload throughput %v should cap at capacity %v", p.ThroughputRPS, p.CapacityRPS)
+	}
+}

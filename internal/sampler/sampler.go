@@ -56,6 +56,25 @@ func (b *Block) Validate() error {
 	return nil
 }
 
+// FullGraphBlock presents the whole graph as one Block: every vertex is both
+// a source and a destination (local index == global ID) and the edge list is
+// the graph's CSR adjacency. It lets exact full-graph propagation run through
+// the same layer kernels as sampled mini-batches. The Col slice aliases the
+// graph's ColIdx; callers must not mutate it.
+func FullGraphBlock(g *graph.Graph) (*Block, error) {
+	if g.NumEdges() > math.MaxInt32 {
+		return nil, fmt.Errorf("sampler: graph with %d edges exceeds block index range", g.NumEdges())
+	}
+	n := g.NumVertices
+	ids := make([]int32, n)
+	rowPtr := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ids[v] = int32(v)
+		rowPtr[v+1] = int32(g.RowPtr[v+1])
+	}
+	return &Block{Src: ids, Dst: ids, RowPtr: rowPtr, Col: g.ColIdx}, nil
+}
+
 // SortedEdgesBySource returns the block's edges (in local indices) ordered by
 // source, the layout the accelerator scatter-gather kernel consumes.
 func (b *Block) SortedEdgesBySource() []graph.Edge {
@@ -92,21 +111,24 @@ func (mb *MiniBatch) EdgesTraversed() int64 {
 
 // Sampler draws mini-batches from a graph using per-layer neighbor fanouts.
 // Fanouts[0] applies to the input-most layer. The paper uses (25, 10) with
-// batch size 1024.
+// batch size 1024. A fanout of 0 disables sampling for that layer: every
+// neighbor is taken, making propagation over the batch exact (the limit the
+// sampled estimate converges to as fanouts grow).
 type Sampler struct {
 	G       *graph.Graph
 	Fanouts []int
 	Labels  []int32
 }
 
-// New creates a sampler. Fanouts must all be positive.
+// New creates a sampler. Fanouts must be non-negative; 0 means "no sampling,
+// take all neighbors" for that layer.
 func New(g *graph.Graph, fanouts []int, labels []int32) (*Sampler, error) {
 	if len(fanouts) == 0 {
 		return nil, fmt.Errorf("sampler: no fanouts")
 	}
 	for _, f := range fanouts {
-		if f <= 0 {
-			return nil, fmt.Errorf("sampler: non-positive fanout %d", f)
+		if f < 0 {
+			return nil, fmt.Errorf("sampler: negative fanout %d", f)
 		}
 	}
 	if labels != nil && len(labels) != g.NumVertices {
@@ -157,11 +179,14 @@ func (s *Sampler) sampleLayer(frontier []int32, fanout int, rng *tensor.RNG) *Bl
 		local[v] = int32(i)
 	}
 	rowPtr := make([]int32, len(dst)+1)
-	col := make([]int32, 0, len(dst)*fanout)
+	col := make([]int32, 0, len(dst)*max(fanout, 1))
 	scratch := make([]int32, fanout)
 	for i, v := range dst {
 		nbrs := s.G.Neighbors(v)
-		chosen := sampleWithoutReplacement(nbrs, fanout, scratch, rng)
+		chosen := nbrs // fanout 0: exact neighborhood, no sampling
+		if fanout > 0 {
+			chosen = sampleWithoutReplacement(nbrs, fanout, scratch, rng)
+		}
 		for _, u := range chosen {
 			li, ok := local[u]
 			if !ok {
@@ -260,6 +285,9 @@ func ExpectedSizes(numVertices, avgDegree float64, batchSize int, fanouts []int)
 	vl[L] = math.Min(float64(batchSize), numVertices) // targets are distinct vertices
 	for l := L - 1; l >= 0; l-- {
 		f := math.Min(float64(fanouts[l]), avgDegree)
+		if fanouts[l] <= 0 { // fanout 0 takes every neighbor
+			f = avgDegree
+		}
 		el[l] = vl[l+1] * f
 		draws := el[l] + vl[l+1] // sampled sources plus the dst prefix
 		vl[l] = distinctOf(draws, numVertices)

@@ -28,8 +28,11 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(g, nil, nil); err == nil {
 		t.Fatal("expected error for no fanouts")
 	}
-	if _, err := New(g, []int{5, 0}, nil); err == nil {
-		t.Fatal("expected error for zero fanout")
+	if _, err := New(g, []int{5, -1}, nil); err == nil {
+		t.Fatal("expected error for negative fanout")
+	}
+	if _, err := New(g, []int{5, 0}, nil); err != nil {
+		t.Fatalf("fanout 0 (take-all) must be accepted: %v", err)
 	}
 	if _, err := New(g, []int{5}, make([]int32, 3)); err == nil {
 		t.Fatal("expected error for label length mismatch")
@@ -313,5 +316,60 @@ func TestSampleProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFullGraphBlock(t *testing.T) {
+	g := testGraph(t, 300, 1500, 9)
+	b, err := FullGraphBlock(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Src) != 300 || len(b.Dst) != 300 {
+		t.Fatalf("block covers %d/%d vertices", len(b.Src), len(b.Dst))
+	}
+	if int64(b.NumEdges()) != g.NumEdges() {
+		t.Fatalf("block has %d edges, graph %d", b.NumEdges(), g.NumEdges())
+	}
+	// Every destination's edge list must equal its in-neighbor list.
+	for v := int32(0); v < 20; v++ {
+		nbrs := g.Neighbors(v)
+		got := b.Col[b.RowPtr[v]:b.RowPtr[v+1]]
+		if len(got) != len(nbrs) {
+			t.Fatalf("vertex %d: %d edges, want %d", v, len(got), len(nbrs))
+		}
+		for i := range got {
+			if got[i] != nbrs[i] {
+				t.Fatalf("vertex %d edge %d: %d, want %d", v, i, got[i], nbrs[i])
+			}
+		}
+	}
+}
+
+// Fanout 0 must take every neighbor: the sampled block's per-destination
+// degree equals the graph degree, for every layer.
+func TestZeroFanoutIsExact(t *testing.T) {
+	g := testGraph(t, 200, 1000, 10)
+	rng := tensor.NewRNG(11)
+	s, err := New(g, []int{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := s.Sample([]int32{3, 77, 150}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, b := range mb.Blocks {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("layer %d: %v", l, err)
+		}
+		for d, v := range b.Dst {
+			if got, want := int(b.RowPtr[d+1]-b.RowPtr[d]), g.Degree(v); got != want {
+				t.Fatalf("layer %d vertex %d: %d sampled of %d neighbors", l, v, got, want)
+			}
+		}
 	}
 }

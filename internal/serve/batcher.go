@@ -1,0 +1,85 @@
+package serve
+
+import "fmt"
+
+// Request is one inference query in the open-loop stream: which vertex to
+// classify and when it arrived (virtual seconds).
+type Request struct {
+	ID      int
+	Vertex  int32
+	Arrival float64
+}
+
+// DynamicBatcher groups admitted requests into batches: a batch closes when
+// it reaches MaxBatch requests or when its oldest request has waited
+// WindowSec, whichever comes first — the standard size-or-deadline policy of
+// online inference servers. A window of 0 closes every batch immediately
+// (no batching delay, batch size 1 unless requests arrive at the same
+// instant).
+type DynamicBatcher struct {
+	maxBatch int
+	window   float64
+	pending  []Request
+}
+
+// NewDynamicBatcher validates the knobs.
+func NewDynamicBatcher(maxBatch int, window float64) (*DynamicBatcher, error) {
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("serve: non-positive max batch %d", maxBatch)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("serve: negative batch window %v", window)
+	}
+	return &DynamicBatcher{maxBatch: maxBatch, window: window}, nil
+}
+
+// Pending returns the number of requests waiting in the open batch.
+func (b *DynamicBatcher) Pending() int { return len(b.pending) }
+
+// Deadline returns the close deadline of the open batch, or false when no
+// batch is open.
+func (b *DynamicBatcher) Deadline() (float64, bool) {
+	if len(b.pending) == 0 {
+		return 0, false
+	}
+	return b.pending[0].Arrival + b.window, true
+}
+
+// Add appends a request (arrivals must be non-decreasing). If r fills the
+// batch to MaxBatch, the batch closes immediately at r's arrival time and is
+// returned; otherwise it returns nil. Callers must drain CloseExpired up to
+// r's arrival before adding.
+func (b *DynamicBatcher) Add(r Request) (batch []Request, closeAt float64) {
+	b.pending = append(b.pending, r)
+	if len(b.pending) >= b.maxBatch {
+		return b.take(), r.Arrival
+	}
+	return nil, 0
+}
+
+// CloseExpired returns the open batch if its deadline has passed by `now`,
+// with the deadline as the close time; otherwise nil. Call repeatedly until
+// it returns nil (each admitted request can open a new batch).
+func (b *DynamicBatcher) CloseExpired(now float64) (batch []Request, closeAt float64) {
+	dl, open := b.Deadline()
+	if !open || dl > now {
+		return nil, 0
+	}
+	return b.take(), dl
+}
+
+// Flush closes the open batch at its deadline regardless of current time
+// (end of stream: the window will expire with no further arrivals).
+func (b *DynamicBatcher) Flush() (batch []Request, closeAt float64) {
+	dl, open := b.Deadline()
+	if !open {
+		return nil, 0
+	}
+	return b.take(), dl
+}
+
+func (b *DynamicBatcher) take() []Request {
+	batch := b.pending
+	b.pending = nil
+	return batch
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBatcherValidation(t *testing.T) {
+	if _, err := NewDynamicBatcher(0, 1e-3); err == nil {
+		t.Fatal("expected error for zero max batch")
+	}
+	if _, err := NewDynamicBatcher(4, -1); err == nil {
+		t.Fatal("expected error for negative window")
+	}
+}
+
+func TestBatcherClosesBySize(t *testing.T) {
+	b, _ := NewDynamicBatcher(3, 1.0)
+	for i := 0; i < 2; i++ {
+		if batch, _ := b.Add(Request{ID: i, Arrival: float64(i) * 1e-3}); batch != nil {
+			t.Fatal("closed before reaching max batch")
+		}
+	}
+	batch, closeAt := b.Add(Request{ID: 2, Arrival: 2e-3})
+	if len(batch) != 3 || closeAt != 2e-3 {
+		t.Fatalf("size close: %d requests at %v", len(batch), closeAt)
+	}
+	if b.Pending() != 0 {
+		t.Fatal("pending not drained by size close")
+	}
+}
+
+func TestBatcherClosesByDeadline(t *testing.T) {
+	b, _ := NewDynamicBatcher(100, 5e-3)
+	b.Add(Request{ID: 0, Arrival: 1e-3})
+	b.Add(Request{ID: 1, Arrival: 2e-3})
+	if batch, _ := b.CloseExpired(3e-3); batch != nil {
+		t.Fatal("closed before the deadline")
+	}
+	batch, closeAt := b.CloseExpired(7e-3)
+	if len(batch) != 2 || closeAt != 6e-3 { // first arrival + window
+		t.Fatalf("deadline close: %d requests at %v", len(batch), closeAt)
+	}
+	if batch, _ := b.CloseExpired(10); batch != nil {
+		t.Fatal("closed an empty batch")
+	}
+}
+
+func TestBatcherFlush(t *testing.T) {
+	b, _ := NewDynamicBatcher(100, 2e-3)
+	if batch, _ := b.Flush(); batch != nil {
+		t.Fatal("flushed an empty batcher")
+	}
+	b.Add(Request{ID: 0, Arrival: 1.0})
+	batch, closeAt := b.Flush()
+	if len(batch) != 1 || closeAt != 1.0+2e-3 {
+		t.Fatalf("flush: %d requests at %v", len(batch), closeAt)
+	}
+}
+
+func TestAdmissionControllerBounds(t *testing.T) {
+	a, err := NewAdmissionController(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdmissionController(0); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	if !a.Admit(0) || !a.Admit(0) {
+		t.Fatal("admissions below capacity rejected")
+	}
+	if a.Admit(0) {
+		t.Fatal("admission above capacity accepted")
+	}
+	// Both waiting requests dispatch, completing at t=1 and t=2.
+	a.Dispatched([]float64{1, 2})
+	if a.Admit(0.5) {
+		t.Fatal("admitted while both still in flight")
+	}
+	if !a.Admit(1.5) {
+		t.Fatal("slot not freed by completion at t=1")
+	}
+}
+
+func TestRequestStreamOrderingAndSkew(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	s, err := NewRequestStream(1000, 500, 1.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRequestStream(0, 500, 1, rng); err == nil {
+		t.Fatal("expected error for zero vertices")
+	}
+	if _, err := NewRequestStream(10, 0, 1, rng); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+	prev := -1.0
+	low := 0
+	const n = 4000
+	var last float64
+	for i := 0; i < n; i++ {
+		r := s.Next()
+		if r.Arrival <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prev = r.Arrival
+		if r.Vertex < 0 || r.Vertex >= 1000 {
+			t.Fatalf("vertex %d out of range", r.Vertex)
+		}
+		if r.Vertex < 100 {
+			low++
+		}
+		last = r.Arrival
+	}
+	// Zipf(1.2): the hottest 10% of vertices draw far more than 10% of
+	// requests.
+	if float64(low)/n < 0.3 {
+		t.Fatalf("hot-set share %.2f — popularity not skewed", float64(low)/n)
+	}
+	// Open loop at 500 req/s: 4000 arrivals span ≈ 8 virtual seconds.
+	if last < 4 || last > 16 {
+		t.Fatalf("stream span %.2fs inconsistent with rate", last)
+	}
+	if math.IsNaN(last) {
+		t.Fatal("NaN arrival")
+	}
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewEmbeddingCache(4)
+	k := CacheKey{Vertex: 7, Version: 1}
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []float32{1, 2, 3}, 0.5)
+	emb, readyAt, ok := c.Get(k)
+	if !ok || readyAt != 0.5 || len(emb) != 3 || emb[1] != 2 {
+		t.Fatalf("Get = %v %v %v", emb, readyAt, ok)
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 1 || evictions != 0 {
+		t.Fatalf("stats = %d %d %d", hits, misses, evictions)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewEmbeddingCache(2)
+	put := func(v int32) { c.Put(CacheKey{Vertex: v, Version: 1}, []float32{float32(v)}, 0) }
+	has := func(v int32) bool {
+		_, _, ok := c.Get(CacheKey{Vertex: v, Version: 1})
+		return ok
+	}
+	put(1)
+	put(2)
+	if !has(1) { // touches 1: now 2 is least-recently-used
+		t.Fatal("1 missing before eviction")
+	}
+	put(3) // evicts 2
+	if has(2) {
+		t.Fatal("2 survived eviction despite being LRU")
+	}
+	if !has(1) || !has(3) {
+		t.Fatal("recently-used entries evicted")
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+// A model-version bump must invalidate every older entry without a flush:
+// the same vertex under a new version is a miss.
+func TestCacheVersionKeying(t *testing.T) {
+	c := NewEmbeddingCache(8)
+	c.Put(CacheKey{Vertex: 5, Version: 1}, []float32{1}, 0)
+	if _, _, ok := c.Get(CacheKey{Vertex: 5, Version: 2}); ok {
+		t.Fatal("stale-version entry served")
+	}
+	if _, _, ok := c.Get(CacheKey{Vertex: 5, Version: 1}); !ok {
+		t.Fatal("current-version entry lost")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewEmbeddingCache(0)
+	c.Put(CacheKey{Vertex: 1, Version: 1}, []float32{1}, 0)
+	if _, _, ok := c.Get(CacheKey{Vertex: 1, Version: 1}); ok {
+		t.Fatal("capacity-0 cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatal("capacity-0 cache non-empty")
+	}
+}
+
+func TestCachePutRefreshesEntry(t *testing.T) {
+	c := NewEmbeddingCache(2)
+	k := CacheKey{Vertex: 9, Version: 3}
+	c.Put(k, []float32{1}, 1.0)
+	c.Put(k, []float32{2}, 2.0)
+	emb, readyAt, ok := c.Get(k)
+	if !ok || emb[0] != 2 || readyAt != 2.0 {
+		t.Fatalf("refresh lost: %v %v %v", emb, readyAt, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after refresh, want 1", c.Len())
+	}
+}
+
+// The cache is shared state on the serving hot path; hammer it from many
+// goroutines so the CI -race pass has something to bite on.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewEmbeddingCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := CacheKey{Vertex: int32((g*31 + i) % 128), Version: 1}
+				if _, _, ok := c.Get(k); !ok {
+					c.Put(k, []float32{float32(i)}, float64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache overflowed capacity: %d", c.Len())
+	}
+	hits, misses, _ := c.Stats()
+	if hits+misses != 8*500 {
+		t.Fatalf("lookup accounting lost updates: %d + %d != %d", hits, misses, 8*500)
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// AdmissionController bounds the number of outstanding requests (waiting in
+// the batcher or dispatched but not yet complete in virtual time). A request
+// arriving while the system holds Capacity outstanding requests is rejected
+// — open-loop overload then surfaces as a rejection rate instead of an
+// unbounded latency tail.
+type AdmissionController struct {
+	capacity int
+	waiting  int
+	inflight completionHeap
+}
+
+// NewAdmissionController builds a controller; capacity must be positive.
+func NewAdmissionController(capacity int) (*AdmissionController, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("serve: non-positive queue capacity %d", capacity)
+	}
+	return &AdmissionController{capacity: capacity}, nil
+}
+
+// Admit reports whether a request arriving at virtual time now fits, and
+// records it as waiting if so.
+func (a *AdmissionController) Admit(now float64) bool {
+	for a.inflight.Len() > 0 && a.inflight[0] <= now {
+		heap.Pop(&a.inflight)
+	}
+	if a.waiting+a.inflight.Len() >= a.capacity {
+		return false
+	}
+	a.waiting++
+	return true
+}
+
+// Dispatched moves n waiting requests to in-flight with the given virtual
+// completion times (one per request).
+func (a *AdmissionController) Dispatched(completions []float64) {
+	a.waiting -= len(completions)
+	if a.waiting < 0 {
+		a.waiting = 0
+	}
+	for _, c := range completions {
+		heap.Push(&a.inflight, c)
+	}
+}
+
+// Outstanding returns the current waiting + in-flight count as of the last
+// Admit call (for tests and telemetry).
+func (a *AdmissionController) Outstanding() int { return a.waiting + a.inflight.Len() }
+
+// completionHeap is a min-heap of virtual completion times.
+type completionHeap []float64
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RequestStream generates the synthetic open-loop workload: Poisson arrivals
+// (exponential inter-arrival times at the offered rate) over vertices drawn
+// from a Zipf popularity distribution — the skew that makes an embedding
+// cache earn its keep. Exponent 0 degenerates to uniform popularity.
+type RequestStream struct {
+	rate float64
+	cdf  []float64 // cumulative popularity over vertex IDs
+	rng  *tensor.RNG
+	now  float64
+	next int
+}
+
+// NewRequestStream builds a stream over numVertices vertices.
+func NewRequestStream(numVertices int, ratePerSec, zipfExponent float64, rng *tensor.RNG) (*RequestStream, error) {
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("serve: non-positive vertex count %d", numVertices)
+	}
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("serve: non-positive request rate %v", ratePerSec)
+	}
+	if zipfExponent < 0 {
+		return nil, fmt.Errorf("serve: negative Zipf exponent %v", zipfExponent)
+	}
+	cdf := make([]float64, numVertices)
+	sum := 0.0
+	for v := 0; v < numVertices; v++ {
+		sum += 1 / math.Pow(float64(v+1), zipfExponent)
+		cdf[v] = sum
+	}
+	for v := range cdf {
+		cdf[v] /= sum
+	}
+	return &RequestStream{rate: ratePerSec, cdf: cdf, rng: rng}, nil
+}
+
+// Next returns the next request; arrivals are strictly ordered in time.
+func (s *RequestStream) Next() Request {
+	u := s.rng.Float64()
+	for u >= 1 { // guard the log; Float64 ∈ [0,1)
+		u = s.rng.Float64()
+	}
+	s.now += -math.Log(1-u) / s.rate
+	v := sort.SearchFloat64s(s.cdf, s.rng.Float64())
+	if v >= len(s.cdf) {
+		v = len(s.cdf) - 1
+	}
+	r := Request{ID: s.next, Vertex: int32(v), Arrival: s.now}
+	s.next++
+	return r
+}

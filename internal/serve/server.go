@@ -1,0 +1,261 @@
+// Package serve is the online-serving subsystem grown on the shared HyScale
+// runtime: a request queue with admission control, a dynamic batcher
+// (size-or-deadline), an LRU embedding cache keyed by vertex and model
+// version, and a worker pool of core.InferencePipeline instances that answer
+// batches with real sampled-fanout GNN inference while charging sample →
+// gather → transfer → propagate on the same virtual PipelineClock and
+// perfmodel price list as training. The run is an event-driven open-loop
+// simulation (the BLIS-style shape): arrivals, batch deadlines, and batch
+// completions are totally ordered in virtual time, so every run is
+// deterministic for a given seed.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Config assembles a serving run.
+type Config struct {
+	Plat hw.Platform
+	Data *datagen.Dataset
+	// Model is the trained model to serve (read-only during the run).
+	Model   *gnn.Model
+	Fanouts []int
+	// ModelVersion tags cache entries; bump it after a weight push to
+	// invalidate stale embeddings. Zero means version 1.
+	ModelVersion int
+
+	// Open-loop stream: NumRequests arrivals at RatePerSec with Zipf(θ)
+	// vertex popularity (θ=0 is uniform).
+	NumRequests  int
+	RatePerSec   float64
+	ZipfExponent float64
+
+	// Serving knobs.
+	MaxBatch  int     // dynamic batcher's size cap
+	WindowSec float64 // dynamic batcher's max-wait deadline
+	// Workers is the worker-pool size. With accelerators present, worker i
+	// serves on accelerator i (capped at the platform's accelerator count);
+	// without accelerators one CPU worker serves.
+	Workers   int
+	QueueCap  int // admission control: max outstanding requests (0 → 1024)
+	CacheSize int // embedding-cache capacity in entries (0 disables)
+
+	QuantizeTransfer bool // int8 feature transfer for accelerator workers
+	Seed             uint64
+}
+
+// Run drives the full open-loop stream through the serving stack and
+// returns the measured statistics plus the analytic prediction for the same
+// operating point.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.NumRequests <= 0 {
+		return nil, fmt.Errorf("serve: non-positive request count %d", cfg.NumRequests)
+	}
+	if cfg.ModelVersion == 0 {
+		cfg.ModelVersion = 1
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 1024
+	}
+	workers := resolveWorkers(cfg)
+	rng := tensor.NewRNG(cfg.Seed)
+	nAccel := len(cfg.Plat.Accels)
+	pool := make([]*core.InferencePipeline, workers)
+	for i := range pool {
+		device := 0
+		if nAccel > 0 {
+			device = i + 1
+		}
+		p, err := core.NewInferencePipeline(core.InferConfig{
+			Plat: cfg.Plat, Data: cfg.Data, Model: cfg.Model,
+			Fanouts: cfg.Fanouts, Device: device,
+			QuantizeTransfer: cfg.QuantizeTransfer,
+			Seed:             rng.Uint64(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = p
+	}
+	stream, err := NewRequestStream(cfg.Data.Graph.NumVertices, cfg.RatePerSec, cfg.ZipfExponent, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	batcher, err := NewDynamicBatcher(cfg.MaxBatch, cfg.WindowSec)
+	if err != nil {
+		return nil, err
+	}
+	admission, err := NewAdmissionController(cfg.QueueCap)
+	if err != nil {
+		return nil, err
+	}
+	cache := NewEmbeddingCache(cfg.CacheSize)
+
+	stats := &Stats{Offered: cfg.NumRequests}
+	var latencies []float64
+	var lastCompletion float64
+	var batchReqSum, computedBatches int
+
+	dispatch := func(batch []Request, closeAt float64) error {
+		stats.Batches++
+		batchReqSum += len(batch)
+		completions := make([]float64, 0, len(batch))
+		serveReq := func(r Request, done float64) {
+			latencies = append(latencies, done-r.Arrival)
+			completions = append(completions, done)
+			if done > lastCompletion {
+				lastCompletion = done
+			}
+		}
+		// Cache pass: hits are answered when their entry is ready (an
+		// in-flight entry behaves as a future); misses are coalesced per
+		// vertex and sent to the pool.
+		var order []int32
+		waiting := make(map[int32][]Request)
+		for _, r := range batch {
+			key := CacheKey{Vertex: r.Vertex, Version: cfg.ModelVersion}
+			if _, readyAt, ok := cache.Get(key); ok {
+				serveReq(r, math.Max(closeAt, readyAt))
+				continue
+			}
+			if _, dup := waiting[r.Vertex]; !dup {
+				order = append(order, r.Vertex)
+			}
+			waiting[r.Vertex] = append(waiting[r.Vertex], r)
+		}
+		if len(order) > 0 {
+			w := pool[0]
+			for _, p := range pool[1:] {
+				if p.AvailableAt() < w.AvailableAt() {
+					w = p
+				}
+			}
+			res, err := w.RunBatch(order)
+			if err != nil {
+				return err
+			}
+			done := w.CompleteAfter(closeAt, res.Stage)
+			for i, v := range order {
+				emb := append([]float32(nil), res.Logits.Row(i)...)
+				cache.Put(CacheKey{Vertex: v, Version: cfg.ModelVersion}, emb, done)
+				for _, r := range waiting[v] {
+					serveReq(r, done)
+					stats.Computed++
+				}
+			}
+			st := res.Stage
+			stats.MeanServiceSec += st.SampCPU + st.Load + st.Trans +
+				math.Max(st.TrainCPU, st.TrainAcc) + 4*perfmodel.RuntimeBarrierSec
+			computedBatches++
+			stats.EdgesPerSec += res.Edges // normalized by makespan below
+		}
+		admission.Dispatched(completions)
+		return nil
+	}
+
+	for i := 0; i < cfg.NumRequests; i++ {
+		r := stream.Next()
+		for {
+			batch, closeAt := batcher.CloseExpired(r.Arrival)
+			if batch == nil {
+				break
+			}
+			if err := dispatch(batch, closeAt); err != nil {
+				return nil, err
+			}
+		}
+		if !admission.Admit(r.Arrival) {
+			stats.Rejected++
+			continue
+		}
+		if batch, closeAt := batcher.Add(r); batch != nil {
+			if err := dispatch(batch, closeAt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if batch, closeAt := batcher.Flush(); batch != nil {
+		if err := dispatch(batch, closeAt); err != nil {
+			return nil, err
+		}
+	}
+
+	stats.Served = len(latencies)
+	stats.summarizeLatencies(latencies)
+	hits, _, evictions := cache.Stats()
+	stats.CacheHits = hits
+	stats.Evictions = evictions
+	if stats.Served > 0 {
+		stats.HitRate = float64(stats.Served-stats.Computed) / float64(stats.Served)
+	}
+	if stats.Batches > 0 {
+		stats.MeanBatch = float64(batchReqSum) / float64(stats.Batches)
+	}
+	if computedBatches > 0 {
+		stats.MeanServiceSec /= float64(computedBatches)
+	}
+	stats.MakespanSec = lastCompletion
+	if stats.MakespanSec > 0 {
+		stats.ThroughputRPS = float64(stats.Served) / stats.MakespanSec
+		stats.EdgesPerSec /= stats.MakespanSec
+	}
+
+	pred, err := pool[0].Model().PredictServing(servingLoad(cfg, workers, 1-stats.HitRate))
+	if err != nil {
+		return nil, err
+	}
+	stats.Prediction = pred
+	return stats, nil
+}
+
+// resolveWorkers returns the effective worker-pool size: capped at the
+// platform's accelerator count, or one CPU pipeline when there are none
+// (CPU workers share the socket).
+func resolveWorkers(cfg Config) int {
+	nAccel := len(cfg.Plat.Accels)
+	if nAccel == 0 {
+		return 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 || workers > nAccel {
+		workers = nAccel
+	}
+	return workers
+}
+
+// servingLoad maps a Config onto the analytic model's load description.
+func servingLoad(cfg Config, workers int, computeFrac float64) perfmodel.ServingLoad {
+	return perfmodel.ServingLoad{
+		RatePerSec:  cfg.RatePerSec,
+		MaxBatch:    cfg.MaxBatch,
+		WindowSec:   cfg.WindowSec,
+		Workers:     workers,
+		ComputeFrac: computeFrac,
+		Accel:       len(cfg.Plat.Accels) > 0,
+	}
+}
+
+// Predict evaluates the analytic serving model for cfg at the given compute
+// fraction (1 − expected cache hit rate) without executing a run — the
+// cheap way to size a deployment or anchor a load sweep on predicted
+// capacity.
+func Predict(cfg Config, computeFrac float64) (perfmodel.ServingPrediction, error) {
+	p, err := core.NewInferencePipeline(core.InferConfig{
+		Plat: cfg.Plat, Data: cfg.Data, Model: cfg.Model,
+		Fanouts: cfg.Fanouts, Device: min(1, len(cfg.Plat.Accels)),
+		QuantizeTransfer: cfg.QuantizeTransfer,
+	})
+	if err != nil {
+		return perfmodel.ServingPrediction{}, err
+	}
+	return p.Model().PredictServing(servingLoad(cfg, resolveWorkers(cfg), computeFrac))
+}

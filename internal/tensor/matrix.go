@@ -146,6 +146,13 @@ func (m *Matrix) String() string {
 	return s + "]"
 }
 
+// ParallelRows runs fn over [0, rows) split into contiguous chunks across
+// worker goroutines, honouring SetParallelism. fn receives [lo, hi). It is
+// the row-parallel helper behind every parallel kernel in this package,
+// exported so row-sharded loops elsewhere (e.g. per-vertex GNN aggregation)
+// use the same worker policy instead of rolling their own.
+func ParallelRows(rows int, fn func(lo, hi int)) { parallelRows(rows, fn) }
+
 // parallelRows runs fn over [0, rows) split into contiguous chunks across
 // worker goroutines. fn receives [lo, hi).
 func parallelRows(rows int, fn func(lo, hi int)) {
