@@ -62,6 +62,11 @@ func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
 // 1–4 sharded engines with real ring-all-reduce gradient exchange.
 func BenchmarkExtMultiNode(b *testing.B) { benchExperiment(b, "ext-multinode") }
 
+// BenchmarkExtHetero runs the heterogeneous-fleet ablation: hybrid
+// CPU+GPU+FPGA against every homogeneous configuration of the same device
+// budget, with DRM rebalancing the unequal devices.
+func BenchmarkExtHetero(b *testing.B) { benchExperiment(b, "ext-hetero") }
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

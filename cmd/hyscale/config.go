@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -18,6 +19,7 @@ type options struct {
 	dataset  string
 	model    string
 	platform string
+	accels   string // heterogeneous fleet spec, e.g. "gpu:2,fpga:1"
 	scale    int64
 	epochs   int
 	batch    int
@@ -81,6 +83,17 @@ func buildConfig(o options) (*runSpec, error) {
 	default:
 		return nil, fmt.Errorf("unknown platform %q", o.platform)
 	}
+	if o.accels != "" {
+		kinds, err := parseAccelSpec(o.accels)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := hw.HeteroPlatform(kinds...)
+		if err != nil {
+			return nil, fmt.Errorf("-accels %q: %w", o.accels, err)
+		}
+		r.Plat = plat
+	}
 	if o.epochs < 0 {
 		return nil, fmt.Errorf("-epochs %d: negative", o.epochs)
 	}
@@ -129,6 +142,41 @@ func buildConfig(o options) (*runSpec, error) {
 		}
 	}
 	return r, nil
+}
+
+// parseAccelSpec parses the -accels fleet specification: a comma-separated
+// list of kind[:count] entries, e.g. "gpu:2,fpga:1" or "fpga". Device order
+// follows the spec. Unknown kinds and non-positive counts are rejected.
+func parseAccelSpec(s string) ([]hw.Kind, error) {
+	var kinds []hw.Kind
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("-accels %q: empty device entry", s)
+		}
+		name, countStr, hasCount := strings.Cut(entry, ":")
+		count := 1
+		if hasCount {
+			n, err := strconv.Atoi(countStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("-accels %q: bad device count %q", s, countStr)
+			}
+			count = n
+		}
+		var k hw.Kind
+		switch strings.ToLower(name) {
+		case "gpu":
+			k = hw.GPU
+		case "fpga":
+			k = hw.FPGA
+		default:
+			return nil, fmt.Errorf("-accels %q: unknown device kind %q (want gpu or fpga)", s, name)
+		}
+		for i := 0; i < count; i++ {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds, nil
 }
 
 // coreConfig assembles the training runtime config for a materialized

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/gnn"
+	"repro/internal/hw"
 )
 
 // validOptions mirrors the flag defaults.
@@ -51,6 +52,74 @@ func TestBuildConfigResolvesAliases(t *testing.T) {
 	}
 	if r.Kind != gnn.GCN {
 		t.Fatalf("kind = %v, want GCN", r.Kind)
+	}
+}
+
+// -accels builds a heterogeneous fleet: device order follows the spec,
+// counts expand, kinds are case-insensitive, and mixed fleets carry
+// per-device links.
+func TestBuildConfigAccelsSpec(t *testing.T) {
+	o := validOptions()
+	o.accels = "gpu:2,fpga:1"
+	r, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Plat.Accels) != 3 {
+		t.Fatalf("fleet size %d, want 3", len(r.Plat.Accels))
+	}
+	wantKinds := []hw.Kind{hw.GPU, hw.GPU, hw.FPGA}
+	for i, k := range wantKinds {
+		if r.Plat.Accels[i].Kind != k {
+			t.Fatalf("device %d kind %v, want %v", i, r.Plat.Accels[i].Kind, k)
+		}
+	}
+	if len(r.Plat.AccelLinks) != 3 {
+		t.Fatalf("per-device links missing: %v", r.Plat.AccelLinks)
+	}
+	if r.Plat.AccelLink(0).Name == r.Plat.AccelLink(2).Name {
+		t.Fatal("GPU and FPGA should sit on different links")
+	}
+
+	o.accels = "FPGA" // bare kind, count defaults to 1, case-insensitive
+	r, err = buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Plat.Accels) != 1 || r.Plat.Accels[0].Kind != hw.FPGA {
+		t.Fatalf("bare-kind spec: %+v", r.Plat.Accels)
+	}
+
+	o.accels = "" // no override: the -platform preset stands
+	r, err = buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Plat.Accels) != 4 {
+		t.Fatalf("platform preset lost: %d accels", len(r.Plat.Accels))
+	}
+}
+
+func TestBuildConfigAccelsRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"tpu:2":      "tpu",   // unknown device kind
+		"cpu:1":      "cpu",   // not an accelerator
+		"gpu:0":      "count", // non-positive count
+		"gpu:-1":     "count", // negative count
+		"gpu:x":      "count", // non-numeric count
+		"gpu:2,,":    "empty", // empty entry
+		"gpu:2:fpga": "count", // malformed separator use
+	}
+	for spec, want := range cases {
+		o := validOptions()
+		o.accels = spec
+		_, err := buildConfig(o)
+		if err == nil {
+			t.Fatalf("-accels %q: expected error", spec)
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), want) {
+			t.Fatalf("-accels %q: error %q does not mention %q", spec, err, want)
+		}
 	}
 }
 

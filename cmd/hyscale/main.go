@@ -17,10 +17,17 @@
 // run reports p50/p99 latency, throughput, and the analytic serving model's
 // prediction for the same operating point.
 //
+// With -accels the accelerator fleet is overridden by an explicit —
+// possibly heterogeneous — device list (the paper's title configuration):
+// "-accels gpu:2,fpga:1" trains on dual EPYC + 2× A5000 + 1× U250, each
+// device behind its kind-native link, with FPGA shares executing through
+// the §IV-C dataflow kernels.
+//
 // Usage:
 //
 //	hyscale -dataset ogbn-products -model sage -platform cpu-fpga \
 //	        -scale 2000 -epochs 5 -batch 256 [-nodes 4] \
+//	        [-accels gpu:2,fpga:1] \
 //	        [-serve -serve-rate 5000 -serve-requests 20000 \
 //	         -serve-batch 32 -serve-window-us 500 -serve-cache 4096]
 package main
@@ -45,6 +52,7 @@ func main() {
 	flag.StringVar(&o.dataset, "dataset", "ogbn-products", "dataset spec: ogbn-products | ogbn-papers100M | MAG240M(homo)")
 	flag.StringVar(&o.model, "model", "sage", "model: gcn | sage")
 	flag.StringVar(&o.platform, "platform", "cpu-fpga", "platform: cpu-gpu | cpu-fpga")
+	flag.StringVar(&o.accels, "accels", "", "heterogeneous fleet override: kind[:count] list, e.g. gpu:2,fpga:1 (mixed devices get per-kind links)")
 	flag.Int64Var(&o.scale, "scale", 2000, "dataset scale-down factor (graph is synthetic RMAT)")
 	flag.IntVar(&o.epochs, "epochs", 5, "epochs to train")
 	flag.IntVar(&o.batch, "batch", 256, "per-trainer mini-batch size")
@@ -114,12 +122,16 @@ func runSingleNode(r *runSpec, coreCfg core.Config, o options) (*gnn.Model, erro
 	fmt.Printf("Training %s on %s (hybrid=%v tfp=%v drm=%v quantize=%v saint=%v)\n\n",
 		r.Kind, r.Plat.Name, o.hybrid, o.tfp, o.drm, o.quantize, o.saint)
 	var rec trace.Recorder
+	var fpgaAgg, fpgaUpd, fpgaTraffic int64
 	fmt.Printf("%-6s %-10s %-10s %-14s %-10s\n", "epoch", "loss", "accuracy", "virtual-epoch", "MTEPS")
 	for ep := 0; ep < o.epochs; ep++ {
 		st, err := engine.RunEpoch()
 		if err != nil {
 			return nil, err
 		}
+		fpgaAgg += st.FPGA.AggCycles
+		fpgaUpd += st.FPGA.UpdateCycles
+		fpgaTraffic += st.FPGA.TrafficBytes
 		fmt.Printf("%-6d %-10.4f %-10.3f %-14s %-10.1f\n",
 			st.Epoch, st.Loss, st.Accuracy, fmt.Sprintf("%.4fs", st.VirtualSec), st.MTEPS)
 		accelShare := 0
@@ -147,6 +159,10 @@ func runSingleNode(r *runSpec, coreCfg core.Config, o options) (*gnn.Model, erro
 	fmt.Printf("\nFinal task mapping: CPU batch %d, accel batches %v\n", a.CPUBatch, a.AccelBatch)
 	fmt.Printf("CPU threads: sampler %d, loader %d, trainer %d\n",
 		a.SampThreads, a.LoadThreads, a.TrainThreads)
+	if fpgaAgg > 0 {
+		fmt.Printf("FPGA dataflow kernels: %d aggregate cycles, %d update cycles, %.1f MB external traffic\n",
+			fpgaAgg, fpgaUpd, float64(fpgaTraffic)/1e6)
+	}
 	if d := engine.ReplicasInSync(); d > 1e-6 {
 		return nil, fmt.Errorf("replica divergence %g — synchronous SGD violated", d)
 	}

@@ -41,6 +41,17 @@ type ForwardStats struct {
 	Sec            float64
 }
 
+// Add accumulates another pass's accounting (aggregation across trainers
+// and iterations).
+func (s *ForwardStats) Add(o ForwardStats) {
+	s.AggCycles += o.AggCycles
+	s.UpdateCycles += o.UpdateCycles
+	s.FeatureFetches += o.FeatureFetches
+	s.TrafficBytes += o.TrafficBytes
+	s.OutputBytes += o.OutputBytes
+	s.Sec += o.Sec
+}
+
 // Forward runs the model's forward pass on a mini-batch through the
 // simulated hardware kernels. x holds gathered input features (|V0| × f0).
 // Aggregation weights are taken from the model (same coefficients as the

@@ -50,12 +50,28 @@ func PyGMultiGPU(plat hw.Platform, work perfmodel.Workload, _ uint64) (float64, 
 	samp := m.SampleTimeCPUEdges(work.EdgesPerBatch(batch*nGPU), plat.TotalCPUCores()/2)
 	load := m.LoadTimeForRows(s.VL[0]*float64(nGPU), plat.TotalCPUCores()/2)
 	trans := m.TransferTimeFor(s)
-	gpu := plat.Accels[0]
+	gpu := busiestAccel(m, s)
 	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
 	sync := m.SyncTime()
 	iter := math.Max(samp+load, trans+train) + sync
 	iters := math.Ceil(float64(work.Spec.TrainNodes) / float64(batch*nGPU))
 	return iters * iter, nil
+}
+
+// busiestAccel returns the fleet's slowest device for the given sampled-set
+// sizes — identical to Accels[0] on the homogeneous comparator platforms,
+// and the conservative choice should a caller hand these simulators a mixed
+// fleet. Ranked by the quantity the callers charge: propagation plus the
+// device's per-iteration framework overhead.
+func busiestAccel(m *perfmodel.Model, s perfmodel.Sizes) hw.Device {
+	busiest := m.Plat.Accels[0]
+	worst := -1.0
+	for _, d := range m.Plat.Accels {
+		if t := m.PropTimeFor(d, s, 1) + d.FrameworkOverheadMs*1e-3; t > worst {
+			worst, busiest = t, d
+		}
+	}
+	return busiest
 }
 
 // zipfS is the skew of the vertex-access popularity distribution assumed by
@@ -101,7 +117,7 @@ func PaGraph(work perfmodel.Workload) (float64, error) {
 	missRows := s.VL[0] * (1 - hit)
 	load := m.LoadTimeForRows(missRows, plat.TotalCPUCores()/2)
 	trans := plat.PCIe.TransferSec(missRows * f0 * 4)
-	gpu := plat.Accels[0]
+	gpu := busiestAccel(m, s)
 	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
 	sync := m.SyncTime() * math.Log2(float64(nGPU)) // ring/tree all-reduce depth
 
@@ -138,7 +154,7 @@ func P3(work perfmodel.Workload) (float64, error) {
 	actBytes := s.VL[1] * hidden * 4 * (1 - 1/float64(p3Nodes))
 	comm := net.TransferSec(actBytes) * 2 // push (forward) + pull (backward)
 
-	gpu := plat.Accels[0]
+	gpu := busiestAccel(m, s)
 	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
 	samp := m.SampleTimeCPUEdges(work.EdgesPerBatch(batch*len(plat.Accels)), plat.TotalCPUCores())
 	sync := m.SyncTime() * math.Log2(float64(nGPUTotal))
@@ -187,7 +203,7 @@ func DistDGLv2(work perfmodel.Workload) (float64, error) {
 	load := m.LoadTimeForRows(localRows, plat.TotalCPUCores()/2)
 	remote := net.TransferSec(remoteRows*f0*4) * float64(nGPU) / 2 // NIC shared by the node's trainers
 	trans := plat.PCIe.TransferSec(s.VL[0] * f0 * 4)
-	gpu := plat.Accels[0]
+	gpu := busiestAccel(m, s)
 	train := m.PropTimeFor(gpu, s, 1) + gpu.FrameworkOverheadMs*1e-3
 	sync := m.SyncTime() * math.Log2(float64(nGPU*distDGLNodes))
 

@@ -271,6 +271,45 @@ func TestExtClusterShape(t *testing.T) {
 	}
 }
 
+// Extension: with a fixed device budget, the hybrid CPU+GPU+FPGA fleet must
+// beat every homogeneous configuration of the same budget, and DRM must
+// narrow the per-device busy-time imbalance from a naive uniform split.
+func TestExtHeteroHybridWins(t *testing.T) {
+	tb, err := ExtHetero(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 { // 3 fleets × 2 models
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, model := range []string{"GCN", "GraphSAGE"} {
+		allG, ok1 := tb.Lookup(2, model, "16xGPU")
+		allF, ok2 := tb.Lookup(2, model, "16xFPGA")
+		hybrid, ok3 := tb.Lookup(2, model, "1xGPU+15xFPGA")
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("%s: missing fleet rows", model)
+		}
+		if hybrid >= allF || hybrid >= allG {
+			t.Fatalf("%s: hybrid %.3fs not strictly faster than homogeneous (GPU %.3fs, FPGA %.3fs)",
+				model, hybrid, allG, allF)
+		}
+		// The mixed fleet starts heavily imbalanced under a uniform split
+		// (a GPU and an FPGA are nothing alike) and DRM must close most of
+		// the gap.
+		start, _ := tb.Lookup(4, model, "1xGPU+15xFPGA")
+		end, _ := tb.Lookup(5, model, "1xGPU+15xFPGA")
+		if start < 1.2 {
+			t.Fatalf("%s: uniform split starts balanced (ratio %.2f) — premise broken", model, start)
+		}
+		if end >= start {
+			t.Fatalf("%s: DRM did not narrow the imbalance: %.2f -> %.2f", model, start, end)
+		}
+		if end > 1.2 {
+			t.Fatalf("%s: unequal devices did not converge (end ratio %.2f)", model, end)
+		}
+	}
+}
+
 // Fig. 11: each optimization must add on top of the previous one, and the
 // magnitudes must stay in the paper's regime (hybrid ≤ ~1.3, full ≤ ~2.2).
 func TestFig11Ordering(t *testing.T) {

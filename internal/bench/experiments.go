@@ -364,11 +364,15 @@ func All(seed uint64) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	eh, err := ExtHetero(seed)
+	if err != nil {
+		return nil, err
+	}
 	es, err := ExtServe(seed)
 	if err != nil {
 		return nil, err
 	}
-	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em, es}, nil
+	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em, eh, es}, nil
 }
 
 // ByName returns a single experiment's table by its short identifier.
@@ -398,6 +402,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtCluster()
 	case "ext-multinode":
 		return ExtMultiNodeExec(seed)
+	case "ext-hetero":
+		return ExtHetero(seed)
 	case "ext-serve":
 		return ExtServe(seed)
 	case "throughput":
@@ -412,5 +418,5 @@ func ByName(name string, seed uint64) (*Table, error) {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
 		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
-		"ext-multinode", "ext-serve"}
+		"ext-multinode", "ext-hetero", "ext-serve"}
 }

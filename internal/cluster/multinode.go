@@ -42,6 +42,13 @@ type MultiNodeConfig struct {
 	// share Node.Seed so their replicas initialise identically (synchronous
 	// SGD keeps the whole fleet in lock-step from there).
 	Node core.Config
+	// Plats, when non-empty, gives each node its own platform (len must be
+	// Nodes): a heterogeneous cluster of heterogeneous nodes — e.g. one
+	// CPU+GPU node next to a CPU+FPGA node. Empty means every node runs the
+	// template's Node.Plat. The synchronous-SGD protocol is platform-blind
+	// (platforms change only the virtual clock), so mixed fleets stay in
+	// lock-step.
+	Plats []hw.Platform
 }
 
 // Validate checks the configuration.
@@ -57,6 +64,20 @@ func (c MultiNodeConfig) Validate() error {
 	}
 	if c.Node.Sync != nil || c.Node.Locator != nil {
 		return fmt.Errorf("cluster: Node.Sync/Locator are owned by the coordinator")
+	}
+	if len(c.Plats) != 0 {
+		if len(c.Plats) != c.Nodes {
+			return fmt.Errorf("cluster: %d per-node platforms for %d nodes", len(c.Plats), c.Nodes)
+		}
+		// The ring all-reduce runs in lock-step, so every node must execute
+		// the same number of iterations per epoch — which the engine derives
+		// from its accelerator count (global batch = BatchSize × trainers).
+		for i, p := range c.Plats[1:] {
+			if len(p.Accels) != len(c.Plats[0].Accels) {
+				return fmt.Errorf("cluster: node %d has %d accelerators, node 0 has %d — "+
+					"unequal fleets would desynchronise the ring", i+1, len(p.Accels), len(c.Plats[0].Accels))
+			}
+		}
 	}
 	return nil
 }
@@ -122,6 +143,9 @@ func NewMultiNode(cfg MultiNodeConfig) (*MultiNode, error) {
 	engines := make([]*core.Engine, cfg.Nodes)
 	for i := range engines {
 		nodeCfg := cfg.Node
+		if len(cfg.Plats) > 0 {
+			nodeCfg.Plat = cfg.Plats[i]
+		}
 		nodeCfg.Data = &datagen.Dataset{
 			Spec: data.Spec, Graph: data.Graph,
 			Features: data.Features, Labels: data.Labels,
@@ -268,7 +292,9 @@ func (m *MultiNode) ReplicasInSync() float64 {
 // Analytic returns the analytic cluster configuration matching this executed
 // run — same platform, workload and interconnect, with the partitioner's
 // measured edge cut as CutFraction — so EpochTime's predictions can be
-// compared against executed virtual-clock readings.
+// compared against executed virtual-clock readings. Heterogeneous fleets
+// (MultiNodeConfig.Plats) are priced with the template Node.Plat; a
+// per-node-platform analytic model is an open item.
 func (m *MultiNode) Analytic() Config {
 	// The engine clamps each node's global batch to its shard size; mirror
 	// that so the analytic assignment prices the batches actually executed.

@@ -32,6 +32,7 @@
 package core
 
 import (
+	"repro/internal/accel"
 	"repro/internal/datagen"
 	"repro/internal/gnn"
 	"repro/internal/hw"
@@ -98,6 +99,11 @@ type EpochStats struct {
 	NetFetchSec float64
 	NetSyncSec  float64
 	RemoteRows  int
+
+	// FPGA aggregates the dataflow trainers' hardware accounting over the
+	// epoch: scatter-gather and systolic cycles, external feature traffic,
+	// and measured kernel seconds. All zero when no FPGA trainer executed.
+	FPGA accel.ForwardStats
 }
 
 // effectiveTotalBatch is the global batch per iteration, clamped to the

@@ -477,6 +477,171 @@ func TestEvaluateAndCheckpoint(t *testing.T) {
 	}
 }
 
+// mixedPlatform is the paper's title claim: CPU + GPU + FPGA on one node.
+func mixedPlatform(t *testing.T) hw.Platform {
+	t.Helper()
+	p, err := hw.HeteroPlatform(hw.GPU, hw.FPGA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The executed mixed fleet: the engine must build one backend per device
+// kind, the FPGA trainer must actually run the §IV-C dataflow kernels (its
+// hardware counters appear in the epoch stats), and the whole fleet must
+// stay in synchronous-SGD lock-step while converging.
+func TestMixedFleetExecutesFPGABackend(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Plat = mixedPlatform(t)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Trainers()[0].(*cpuTrainer); !ok {
+		t.Fatalf("trainer 0 is %T, want CPU", e.Trainers()[0])
+	}
+	if _, ok := e.Trainers()[1].(*accelTrainer); !ok {
+		t.Fatalf("trainer 1 is %T, want generic accelerator", e.Trainers()[1])
+	}
+	if _, ok := e.Trainers()[2].(*fpgaTrainer); !ok {
+		t.Fatalf("trainer 2 is %T, want FPGA dataflow", e.Trainers()[2])
+	}
+	var first, last *EpochStats
+	for i := 0; i < 6; i++ {
+		st, err := e.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FPGA.AggCycles <= 0 || st.FPGA.UpdateCycles <= 0 {
+			t.Fatalf("epoch %d: FPGA kernels did not execute: %+v", i, st.FPGA)
+		}
+		if st.FPGA.TrafficBytes <= 0 || st.FPGA.Sec <= 0 {
+			t.Fatalf("epoch %d: FPGA accounting incomplete: %+v", i, st.FPGA)
+		}
+		if i == 0 {
+			first = st
+		}
+		last = st
+	}
+	if last.Loss >= first.Loss*0.75 {
+		t.Fatalf("mixed fleet did not converge: %.4f -> %.4f", first.Loss, last.Loss)
+	}
+	if d := e.ReplicasInSync(); d > 1e-6 {
+		t.Fatalf("mixed fleet diverged by %v", d)
+	}
+}
+
+// Synchronous-SGD equivalence across the mixed fleet: with identical seeds,
+// the hybrid CPU+GPU+FPGA fleet must converge into the same loss band as a
+// homogeneous fleet with the same device count and global batch — the
+// backends change the virtual clock, never the training algorithm.
+func TestMixedFleetLossBandEquivalence(t *testing.T) {
+	run := func(plat hw.Platform) []float64 {
+		cfg := baseConfig(t)
+		cfg.Data = smallDataset(t, 51)
+		cfg.Plat = plat
+		cfg.DRM = false // DRM changes split sizes, which re-orders rng draws
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for i := 0; i < 4; i++ {
+			st, err := e.RunEpoch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, st.Loss)
+		}
+		if d := e.ReplicasInSync(); d > 1e-6 {
+			t.Fatalf("%s: fleet diverged by %v", plat.Name, d)
+		}
+		return losses
+	}
+	mixed := run(mixedPlatform(t))
+	homog := run(smallPlatform()) // 2× U250, same device count and batch
+	for i := range mixed {
+		if math.Abs(mixed[i]-homog[i]) > 0.25*math.Max(mixed[i], homog[i]) {
+			t.Fatalf("epoch %d: mixed loss %.4f vs homogeneous %.4f diverge structurally",
+				i, mixed[i], homog[i])
+		}
+	}
+	if mixed[3] >= mixed[0]*0.85 {
+		t.Fatalf("mixed fleet not converging: %v", mixed)
+	}
+}
+
+// The FPGA trainer's clock charge must come from the measured kernels:
+// an epoch's FPGA.Sec (plus analytic backward and overheads) is what the
+// per-device stage saw, so it must be positive yet below the epoch's
+// virtual time.
+func TestFPGAStatsChargeTheClock(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Plat = mixedPlatform(t)
+	cfg.DRM = false
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FPGA.Sec <= 0 {
+		t.Fatal("no measured FPGA seconds")
+	}
+	if st.FPGA.Sec >= st.VirtualSec {
+		t.Fatalf("measured FPGA forward %v exceeds the whole epoch %v",
+			st.FPGA.Sec, st.VirtualSec)
+	}
+	// Sorted-source reuse (§IV-C): external traffic is bounded by feature
+	// fetches × row bytes, not edge count × row bytes.
+	rowBytes := int64(cfg.Model.Dims[0]) * 4
+	if st.FPGA.TrafficBytes > int64(st.FPGA.FeatureFetches)*rowBytes {
+		t.Fatalf("traffic %dB exceeds %d fetches × %dB", st.FPGA.TrafficBytes,
+			st.FPGA.FeatureFetches, rowBytes)
+	}
+}
+
+// Fleet-level kernel equivalence: the dataflow backend the FPGA trainer
+// drives must produce the same logits as the reference forward on the very
+// replica it trains (internal/accel asserts the kernels in isolation; this
+// guards the engine's wiring — replica weights, sorted-edge mapping,
+// gathered features).
+func TestFPGATrainerMatchesReferenceForward(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Plat = mixedPlatform(t)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := e.Trainers()[2].(*fpgaTrainer)
+	if !ok {
+		t.Fatalf("trainer 2 is %T, want FPGA dataflow", e.Trainers()[2])
+	}
+	mb, err := e.smp.Sample(cfg.Data.TrainIdx[:64], e.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(len(mb.InputNodes()), cfg.Model.Dims[0])
+	tensor.GatherRows(x, cfg.Data.Features, mb.InputNodes())
+	logits, stats, err := ft.backend.Forward(e.replicas[2], mb, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.replicas[2].Forward(mb, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := logits.MaxAbsDiff(ref.Logits); d > 1e-4 {
+		t.Fatalf("dataflow logits differ from reference by %g", d)
+	}
+	if stats.Sec <= 0 || stats.AggCycles <= 0 {
+		t.Fatalf("backend reported no work: %+v", stats)
+	}
+}
+
 func TestCPUOnlyPlatform(t *testing.T) {
 	cfg := baseConfig(t)
 	cfg.Plat.Accels = nil

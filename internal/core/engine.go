@@ -22,6 +22,7 @@ type Engine struct {
 	saint    *sampler.SaintSampler // non-nil when Config.UseSaint
 	batcher  *sampler.Batcher
 	replicas []*gnn.Model // replica 0 = CPU trainer, 1..n = accelerators
+	trainers []Trainer    // device backends, aligned with replicas
 	opts     []*optim.SGD
 	assign   perfmodel.Assignment
 	rng      *tensor.RNG
@@ -120,6 +121,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.gsync = localSync{}
 	}
 	e.clock = NewPipelineClock(cfg.TFP, cfg.networked())
+	e.trainers = newTrainers(e)
 	e.exec = &hybridExecutor{e: e}
 	if cfg.DRM {
 		e.drmEng = drm.New(cfg.Plat.TotalCPUCores())
@@ -130,6 +132,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Assignment returns the current task mapping (after any DRM moves).
 func (e *Engine) Assignment() perfmodel.Assignment { return e.assign.Clone() }
+
+// Trainers returns the fleet's device backends (index 0 is the CPU trainer,
+// i+1 drives Plat.Accels[i]) — introspection for tests and tooling.
+func (e *Engine) Trainers() []Trainer { return e.trainers }
 
 // Params returns trainer 0's parameters (all replicas are identical; the
 // invariant is checked by ReplicasInSync).

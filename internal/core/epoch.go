@@ -47,6 +47,7 @@ func (e *Engine) RunEpoch() (*EpochStats, error) {
 		stats.NetFetchSec += res.Stage.NetFetch
 		stats.NetSyncSec += res.Stage.NetSync
 		stats.RemoteRows += res.RemoteRows
+		stats.FPGA.Add(res.FPGA)
 		if e.drmEng != nil {
 			e.assign = e.drmEng.Adjust(it, res.Stage, e.assign)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/accel"
 	"repro/internal/gnn"
 	"repro/internal/optim"
 	"repro/internal/perfmodel"
@@ -30,6 +31,9 @@ type IterResult struct {
 	Targets    int
 	Edges      float64 // edges traversed by sampling (MTEPS numerator)
 	RemoteRows int     // feature rows fetched from remote shards
+	// FPGA aggregates the dataflow trainers' hardware accounting for the
+	// iteration (zero when no FPGA trainer ran).
+	FPGA accel.ForwardStats
 }
 
 // Overheads charged by the runtime's virtual clock (shared with the analytic
@@ -84,8 +88,16 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	}
 
 	// --- Stage 2+3: Feature Loading and Data Transfer for accelerators.
+	// Both are priced per device: each accelerator's share crosses its own
+	// host link (Eq. 8 over AccelLink(i)), and its feature rows ride its
+	// stack's loader (framework vs native, overlapped — see
+	// perfmodel.LoadTimeForDeviceRows).
+	nAcc := len(e.cfg.Plat.Accels)
 	feats := make([]*tensor.Matrix, len(shares))
-	var loadRows float64
+	loadRows := make([]float64, nAcc)
+	if nAcc > 0 {
+		st.PerAccel = make([]perfmodel.DeviceStage, nAcc)
+	}
 	for i, mb := range batches {
 		if mb == nil {
 			continue
@@ -93,13 +105,15 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 		x := tensor.New(len(mb.InputNodes()), e.cfg.Model.Dims[0])
 		tensor.GatherRows(x, e.cfg.Data.Features, mb.InputNodes())
 		feats[i] = x
-		if i > 0 { // accelerator share crosses DRAM + PCIe
+		if i > 0 { // accelerator share crosses DRAM + its host link
 			if e.cfg.QuantizeTransfer {
 				tensor.QuantizeRoundTrip(x) // inject the real int8 loss
 			}
 			sz := actualSizes(mb)
-			loadRows += sz.VL[0]
-			if tt := e.pm.TransferTimeFor(sz); tt > st.Trans {
+			loadRows[i-1] = sz.VL[0]
+			tt := e.pm.TransferTimeDev(i-1, sz)
+			st.PerAccel[i-1].Trans = tt
+			if tt > st.Trans {
 				st.Trans = tt
 			}
 		}
@@ -109,7 +123,7 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 			out.RemoteRows += e.locator.RemoteRows(mb.InputNodes())
 		}
 	}
-	st.Load = e.pm.LoadTimeForRows(loadRows, e.assign.LoadThreads)
+	st.Load = e.pm.LoadTimeForDeviceRows(loadRows, e.assign.LoadThreads)
 	if e.locator != nil {
 		st.NetFetch = e.locator.FetchSec(out.RemoteRows)
 	}
@@ -151,8 +165,14 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 		out.Grad = res.avg
 		if res.idx == 0 {
 			st.TrainCPU = res.propSec
-		} else if res.propSec > st.TrainAcc {
-			st.TrainAcc = res.propSec
+		} else {
+			st.PerAccel[res.idx-1].Train = res.propSec
+			if res.propSec > st.TrainAcc {
+				st.TrainAcc = res.propSec
+			}
+		}
+		if res.fpga != nil {
+			out.FPGA.Add(*res.fpga)
 		}
 	}
 	out.Stage = st
@@ -200,7 +220,8 @@ type trainerResult struct {
 	loss    float64
 	correct float64
 	targets int
-	propSec float64 // virtual propagation time on this device
+	propSec float64             // virtual propagation time on this device
+	fpga    *accel.ForwardStats // dataflow accounting (FPGA trainers only)
 	err     error
 }
 
@@ -216,13 +237,14 @@ func actualSizes(mb *sampler.MiniBatch) perfmodel.Sizes {
 	return s
 }
 
-// runTrainer executes one trainer's share: real forward/backward, gradient
-// scaling for the weighted all-reduce, and DONE/ACK via the synchronizer.
-// The returned propSec is the virtual device time.
+// runTrainer executes one trainer's share through its device backend:
+// forward/backward on the Trainer, gradient scaling for the weighted
+// all-reduce, and DONE/ACK via the synchronizer. The returned propSec is the
+// backend's virtual device time.
 func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
 	totalTargets int, sync_ *optim.Synchronizer) trainerResult {
 	res := trainerResult{idx: idx, targets: len(mb.Targets)}
-	grads, loss, acc, err := e.replicas[idx].TrainStep(mb, x)
+	step, err := e.trainers[idx].Step(mb, x)
 	if err != nil {
 		res.err = err
 		// Keep the DONE/ACK protocol alive: the synchronizer was sized for
@@ -232,28 +254,18 @@ func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
 		sync_.Submit(gnn.NewGradients(e.replicas[idx].Params))
 		return res
 	}
-	res.loss = loss
-	res.correct = acc * float64(len(mb.Targets))
+	res.loss = step.Loss
+	res.correct = step.Acc * float64(len(mb.Targets))
+	res.propSec = step.PropSec
+	res.fpga = step.FPGA
 
 	// Weighted averaging: each trainer's mean-gradient is rescaled so the
 	// synchronizer's equal-weight average equals the global-batch mean.
 	// The weight *update* is applied by the coordinator to every replica
 	// (even share-less ones) once the round's average is known.
 	scale := float32(len(mb.Targets)) * float32(sync_.N()) / float32(totalTargets)
-	grads.Scale(scale)
-	res.avg = sync_.Submit(grads) // blocks until all trainers are DONE
-
-	// Virtual propagation time for this device.
-	sz := actualSizes(mb)
-	if idx == 0 {
-		share := float64(e.assign.TrainThreads) / float64(e.cfg.Plat.TotalCPUCores())
-		if !e.cfg.Hybrid {
-			share = 1 // CPU-only platform fallback
-		}
-		res.propSec = e.pm.PropWithOverheads(e.cfg.Plat.CPU, sz, share)
-	} else {
-		res.propSec = e.pm.PropWithOverheads(e.cfg.Plat.Accels[idx-1], sz, 1)
-	}
+	step.Grads.Scale(scale)
+	res.avg = sync_.Submit(step.Grads) // blocks until all trainers are DONE
 	return res
 }
 

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/gnn"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// Trainer is one device's training backend in the replica fleet: it owns the
+// numeric forward/backward over the device's model replica and the virtual
+// pricing of that propagation. The coordinator (hybridExecutor) owns
+// everything around it — share splitting, feature staging, the DONE/ACK
+// gradient protocol and the weight update — so backends compose freely: a
+// CPU trainer, a generic accelerator trainer, and the FPGA dataflow trainer
+// that executes the §IV-C scatter-gather + systolic kernels live side by
+// side in one fleet.
+type Trainer interface {
+	// Device returns the hardware this trainer runs on.
+	Device() hw.Device
+	// Step runs one training step over the trainer's mini-batch share. x
+	// holds the gathered (and, for accelerators, transferred) input
+	// features. The returned gradients are the replica's mean gradient,
+	// unscaled; PropSec is the virtual propagation time charged for the
+	// step, including the device's runtime overheads.
+	Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error)
+}
+
+// StepResult is one trainer step's output.
+type StepResult struct {
+	Grads   *gnn.Gradients
+	Loss    float64
+	Acc     float64
+	PropSec float64
+	// FPGA carries the dataflow kernels' hardware accounting when the step
+	// executed on the FPGA backend (nil otherwise).
+	FPGA *accel.ForwardStats
+}
+
+// newTrainers builds the fleet's backends: index 0 is the CPU trainer,
+// index i+1 drives cfg.Plat.Accels[i]. FPGA-kind devices get the dataflow
+// backend; every other accelerator kind gets the analytically priced
+// generic trainer.
+func newTrainers(e *Engine) []Trainer {
+	out := make([]Trainer, 1+len(e.cfg.Plat.Accels))
+	out[0] = &cpuTrainer{e: e}
+	for i, dev := range e.cfg.Plat.Accels {
+		if dev.Kind == hw.FPGA {
+			out[i+1] = &fpgaTrainer{
+				e: e, idx: i + 1, dev: dev,
+				backend: accel.U250Backend(e.cfg.Model.Dims[0]),
+			}
+		} else {
+			out[i+1] = &accelTrainer{e: e, idx: i + 1, dev: dev}
+		}
+	}
+	return out
+}
+
+// cpuTrainer trains on the host CPU with the thread slice the task mapping
+// grants it; its replica reads features in place.
+type cpuTrainer struct {
+	e *Engine
+}
+
+func (t *cpuTrainer) Device() hw.Device { return t.e.cfg.Plat.CPU }
+
+func (t *cpuTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error) {
+	e := t.e
+	grads, loss, acc, err := e.replicas[0].TrainStep(mb, x)
+	if err != nil {
+		return nil, err
+	}
+	share := float64(e.assign.TrainThreads) / float64(e.cfg.Plat.TotalCPUCores())
+	if !e.cfg.Hybrid {
+		share = 1 // CPU-only platform fallback
+	}
+	return &StepResult{
+		Grads: grads, Loss: loss, Acc: acc,
+		PropSec: e.pm.PropWithOverheads(e.cfg.Plat.CPU, actualSizes(mb), share),
+	}, nil
+}
+
+// accelTrainer is the generic accelerator backend (the paper's GPU path):
+// reference numerics on the replica, propagation priced by Eq. 10 for the
+// device.
+type accelTrainer struct {
+	e   *Engine
+	idx int
+	dev hw.Device
+}
+
+func (t *accelTrainer) Device() hw.Device { return t.dev }
+
+func (t *accelTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error) {
+	grads, loss, acc, err := t.e.replicas[t.idx].TrainStep(mb, x)
+	if err != nil {
+		return nil, err
+	}
+	return &StepResult{
+		Grads: grads, Loss: loss, Acc: acc,
+		PropSec: t.e.pm.PropWithOverheads(t.dev, actualSizes(mb), 1),
+	}, nil
+}
+
+// fpgaTrainer drives the paper's §IV-C hardware dataflow (Fig. 6): the
+// forward pass executes through the scatter-gather engine (source-sorted
+// edges, O(|V0|) external traffic) and the systolic array, and the measured
+// kernel cycles — not the analytic Eq. 10 — are what the virtual clock is
+// charged for the forward half. The backward half (which the dataflow
+// kernel does not implement) stays analytically priced. Gradients come from
+// the replica's reference backward: the kernels are functionally equivalent
+// to the reference forward up to float reassociation (asserted in
+// internal/accel's tests and at fleet level in core's tests), and using one
+// numeric path for every trainer is what keeps the whole fleet's
+// synchronous SGD bit-exact. The price is a second numeric forward per step
+// — a deliberate trade in a simulator whose wall-clock is not the product.
+type fpgaTrainer struct {
+	e       *Engine
+	idx     int
+	dev     hw.Device
+	backend accel.Backend
+}
+
+func (t *fpgaTrainer) Device() hw.Device { return t.dev }
+
+func (t *fpgaTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error) {
+	e := t.e
+	_, stats, err := t.backend.Forward(e.replicas[t.idx], mb, x)
+	if err != nil {
+		return nil, fmt.Errorf("core: fpga trainer %d: %w", t.idx, err)
+	}
+	grads, loss, acc, err := e.replicas[t.idx].TrainStep(mb, x)
+	if err != nil {
+		return nil, err
+	}
+	sz := actualSizes(mb)
+	prop := stats.Sec + e.pm.PropBackwardFor(t.dev, sz, 1)
+	return &StepResult{
+		Grads: grads, Loss: loss, Acc: acc,
+		PropSec: perfmodel.DeviceOverheads(t.dev, prop),
+		FPGA:    stats,
+	}, nil
+}

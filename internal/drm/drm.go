@@ -132,16 +132,28 @@ func rank(ts map[Stage]float64) (order []Stage, fastestCPU Stage) {
 	return order, fastestCPU
 }
 
-// Adjust implements Algorithm 1 for one iteration.
+// Adjust implements Algorithm 1 for one iteration, extended with the
+// intra-fleet move: after the CPU↔accelerator balancing of the original
+// algorithm, per-device stage measurements (when provided) rebalance the
+// shares of *unequal* accelerators against each other.
 func (e *Engine) Adjust(_ int, st perfmodel.StageTimes, a perfmodel.Assignment) perfmodel.Assignment {
 	ts := times(st)
 	if e.FusedPrefetch {
 		ts[Load] = st.Load + st.Trans
 		ts[Accel] = st.TrainAcc
 	}
+	out := a.Clone()
+	e.adjustGlobal(&out, st, ts)
+	e.balanceAccels(&out, st.PerAccel)
+	return out
+}
+
+// adjustGlobal is the original Algorithm 1 step over the five aggregated
+// stage times.
+func (e *Engine) adjustGlobal(out *perfmodel.Assignment, st perfmodel.StageTimes, ts map[Stage]float64) {
 	order, fastestCPU := rank(ts)
 	if len(order) < 2 {
-		return a
+		return
 	}
 	bottleneck := order[0]
 	fastest := order[len(order)-1]
@@ -152,38 +164,82 @@ func (e *Engine) Adjust(_ int, st perfmodel.StageTimes, a perfmodel.Assignment) 
 	// which is what the pipeline clock follows — cannot drop below the
 	// runner-up anyway.
 	if ts[second] > 0 && ts[bottleneck] < ts[second]*(1+e.Tolerance) {
-		return a
+		return
 	}
 
-	out := a.Clone()
 	switch bottleneck {
 	case SampAccel: // line 11: shift sampling work back toward the CPU
-		e.balanceSampling(&out, ts, -1)
+		e.balanceSampling(out, ts, -1)
 	case Accel: // line 13: shift training work toward the CPU
-		e.balanceTraining(&out, ts, -1, true)
+		e.balanceTraining(out, ts, -1, true)
 	case Load: // line 15
 		if e.FusedPrefetch && st.Trans > st.Load {
 			// The fused prefetch stage is transfer-dominated: shedding
 			// accelerator work shrinks both halves; more loader threads
 			// would not help the PCIe half.
-			e.balanceTraining(&out, ts, -1, true)
+			e.balanceTraining(out, ts, -1, true)
 		} else {
-			e.balanceThread(&out, fastestCPU, Load)
+			e.balanceThread(out, fastestCPU, Load)
 		}
 	case SampCPU: // lines 17–24
 		if fastest == SampAccel || (fastest == Accel && second == SampAccel) {
-			e.balanceSampling(&out, ts, +1)
+			e.balanceSampling(out, ts, +1)
 		} else {
-			e.balanceThread(&out, fastestCPU, SampCPU)
+			e.balanceThread(out, fastestCPU, SampCPU)
 		}
 	case TrainCPU: // lines 25–32
 		if fastest == Accel || (fastest == SampAccel && second == Accel) {
-			e.balanceTraining(&out, ts, +1, true)
+			e.balanceTraining(out, ts, +1, true)
 		} else {
-			e.balanceThread(&out, fastestCPU, TrainCPU)
+			e.balanceThread(out, fastestCPU, TrainCPU)
 		}
 	}
-	return out
+}
+
+// balanceAccels is balance_work *within* the accelerator fleet. Algorithm 1
+// moves work between the CPU and "the accelerators" as one block — enough
+// when the fleet is homogeneous, but on a mixed CPU+GPU+FPGA node the
+// per-device stage vector exposes a straggler the aggregates hide. One move
+// shifts targets from the slowest device to the fastest, sized (like
+// balanceTraining) to land at the crossover of the two devices' per-target
+// costs, so unequal devices converge to equal stage times instead of
+// oscillating.
+func (e *Engine) balanceAccels(a *perfmodel.Assignment, per []perfmodel.DeviceStage) {
+	n := len(a.AccelBatch)
+	if n < 2 || len(per) < n {
+		return
+	}
+	slow, fast := -1, -1
+	for i := 0; i < n; i++ {
+		if a.AccelBatch[i] <= 0 || per[i].Busy() <= 0 {
+			continue
+		}
+		if slow < 0 || per[i].Busy() > per[slow].Busy() {
+			slow = i
+		}
+		if fast < 0 || per[i].Busy() < per[fast].Busy() {
+			fast = i
+		}
+	}
+	if slow < 0 || fast < 0 || slow == fast {
+		return
+	}
+	tSlow, tFast := per[slow].Busy(), per[fast].Busy()
+	if tSlow < tFast*(1+e.Tolerance) {
+		return // hysteresis: the fleet is balanced enough
+	}
+	cSlow := tSlow / float64(a.AccelBatch[slow])
+	cFast := tFast / float64(a.AccelBatch[fast])
+	move := int(e.Gain * (tSlow - tFast) / (cSlow + cFast))
+	if a.AccelBatch[slow]-move < e.MinBatch {
+		move = a.AccelBatch[slow] - e.MinBatch
+	}
+	if move <= 0 {
+		return
+	}
+	a.AccelBatch[slow] -= move
+	a.AccelBatch[fast] += move
+	e.MovesWork++
 }
 
 // balanceTraining is balance_work over trainer mini-batch shares.
@@ -298,26 +354,77 @@ func (e *Engine) balanceThread(a *perfmodel.Assignment, from, to Stage) {
 	e.MovesThread++
 }
 
-// distribute adds delta targets evenly across the accelerator shares
-// (delta may be negative).
+// distribute spreads delta targets across the accelerator shares in
+// proportion to their current sizes (falling back to a uniform split when
+// every share is zero), so a heterogeneous fleet's balance survives
+// CPU↔accelerator moves — the old uniform split would push the same
+// increment onto a U250 and an A5000 alike and undo the throughput-
+// proportional mapping every iteration. Negative deltas shed proportionally
+// and never push a share below zero; the shares' sum changes by exactly
+// delta as long as |delta| does not exceed the fleet total (which callers
+// guarantee), and by the fleet total otherwise.
 func distribute(shares []int, delta int) {
 	n := len(shares)
-	if n == 0 {
+	if n == 0 || delta == 0 {
 		return
 	}
-	each := delta / n
-	rem := delta - each*n
+	if delta > 0 {
+		// Revive starved devices first: a share that hit zero would
+		// otherwise have zero growth weight forever (and no measurements
+		// for the intra-fleet move to act on). One target is noise for
+		// healthy fleets but hands the idle device a trickle, after which
+		// its measured stage times — and proportional weights — return.
+		for i := range shares {
+			if delta == 0 {
+				return
+			}
+			if shares[i] == 0 {
+				shares[i]++
+				delta--
+			}
+		}
+		weights := make([]float64, n)
+		for i, s := range shares {
+			weights[i] = float64(s)
+		}
+		for i, p := range perfmodel.Apportion(delta, weights) {
+			shares[i] += p
+		}
+		return
+	}
+	total := 0
+	weights := make([]float64, n)
+	for i, s := range shares {
+		weights[i] = float64(s)
+		total += s
+	}
+	mag := -delta
+	if mag > total {
+		mag = total
+	}
+	parts := perfmodel.Apportion(mag, weights)
+	// Shedding: cap each removal at the share itself, then drain any
+	// leftover from the largest remaining shares.
+	left := 0
 	for i := range shares {
-		shares[i] += each
-		if rem > 0 {
-			shares[i]++
-			rem--
-		} else if rem < 0 {
-			shares[i]--
-			rem++
+		take := parts[i]
+		if take > shares[i] {
+			left += take - shares[i]
+			take = shares[i]
 		}
-		if shares[i] < 0 {
-			shares[i] = 0
+		shares[i] -= take
+	}
+	for left > 0 {
+		big := -1
+		for i := range shares {
+			if shares[i] > 0 && (big < 0 || shares[i] > shares[big]) {
+				big = i
+			}
 		}
+		if big < 0 {
+			return
+		}
+		shares[big]--
+		left--
 	}
 }

@@ -1,6 +1,7 @@
 package drm
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -248,6 +249,152 @@ func TestAdjustInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDistributeEdgeCases(t *testing.T) {
+	// Zero accelerators: a no-op, not a panic.
+	distribute(nil, 100)
+	distribute([]int{}, -100)
+
+	// Proportional growth: a 3:1 fleet keeps its ratio.
+	s := []int{300, 100}
+	distribute(s, 40)
+	if s[0] != 330 || s[1] != 110 {
+		t.Fatalf("proportional add: %v", s)
+	}
+
+	// Proportional shedding conserves the delta exactly.
+	s = []int{330, 110}
+	distribute(s, -40)
+	if s[0]+s[1] != 400 {
+		t.Fatalf("shed lost targets: %v", s)
+	}
+
+	// A share that would go negative is clamped at zero and the remainder
+	// drains from the bigger shares — nothing is silently lost.
+	s = []int{500, 10}
+	distribute(s, -100)
+	if s[0]+s[1] != 410 {
+		t.Fatalf("clamped shed lost targets: %v (sum %d, want 410)", s, s[0]+s[1])
+	}
+	if s[0] < 0 || s[1] < 0 {
+		t.Fatalf("negative share: %v", s)
+	}
+
+	// Shedding more than the fleet holds empties it and stops.
+	s = []int{5, 3}
+	distribute(s, -100)
+	if s[0] != 0 || s[1] != 0 {
+		t.Fatalf("over-shed: %v", s)
+	}
+
+	// All-zero shares with growth fall back to a uniform split.
+	s = []int{0, 0, 0}
+	distribute(s, 9)
+	if s[0]+s[1]+s[2] != 9 {
+		t.Fatalf("zero-fleet add: %v", s)
+	}
+}
+
+// Regression: a device whose share hit zero must not be starved forever —
+// growth moves hand it at least a trickle so its measurements (and its
+// proportional weight) come back.
+func TestDistributeRevivesZeroedShare(t *testing.T) {
+	s := []int{0, 640}
+	distribute(s, 64)
+	if s[0] == 0 {
+		t.Fatalf("zeroed share never revived: %v", s)
+	}
+	if s[0]+s[1] != 704 {
+		t.Fatalf("revival lost targets: %v", s)
+	}
+}
+
+// The intra-fleet move: with per-device measurements showing one straggler,
+// work must flow from the slow device to the fast one, conserving the total.
+func TestBalanceAccelsMovesWorkToFastDevice(t *testing.T) {
+	e := New(128)
+	a := baseAssign()
+	st := perfmodel.StageTimes{
+		SampCPU: 1, Load: 1, Trans: 1, TrainAcc: 3, TrainCPU: 1,
+		PerAccel: []perfmodel.DeviceStage{
+			{Train: 3}, {Train: 1}, {Train: 1}, {Train: 1},
+		},
+	}
+	out := e.Adjust(0, st, a)
+	if out.AccelBatch[0] >= a.AccelBatch[0] {
+		t.Fatalf("straggler share should shrink: %v", out.AccelBatch)
+	}
+	if out.AccelBatch[1] <= a.AccelBatch[1] {
+		t.Fatalf("fast device share should grow: %v", out.AccelBatch)
+	}
+	if out.TotalBatch() != a.TotalBatch() {
+		t.Fatal("total batch not conserved")
+	}
+}
+
+// Without per-device data (legacy producers) Adjust must behave exactly as
+// the aggregate algorithm — no intra-fleet move is possible.
+func TestBalanceAccelsNeedsPerDeviceData(t *testing.T) {
+	e := New(128)
+	a := baseAssign()
+	st := perfmodel.StageTimes{SampCPU: 1, Load: 1, Trans: 1, TrainCPU: 1, TrainAcc: 1}
+	out := e.Adjust(0, st, a)
+	for i := range out.AccelBatch {
+		if out.AccelBatch[i] != a.AccelBatch[i] {
+			t.Fatalf("shares moved without per-device data: %v", out.AccelBatch)
+		}
+	}
+}
+
+// Regression: on a mixed GPU+FPGA fleet started from a naive uniform split,
+// iterating DRM against the analytic per-device stages must narrow the
+// max/min per-device stage-time ratio into the hysteresis band.
+func TestDRMConvergesUnequalDevices(t *testing.T) {
+	plat, err := hw.HeteroPlatform(hw.GPU, hw.GPU, hw.FPGA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perfmodel.New(plat, perfmodel.DefaultWorkload(datagen.OGBNProducts, gnn.SAGE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := perfmodel.Assignment{
+		CPUBatch:    0,
+		AccelBatch:  []int{1024, 1024, 1024}, // uniform across unequal devices
+		SampThreads: 43, LoadThreads: 43, TrainThreads: 42,
+	}
+	ratio := func(a perfmodel.Assignment) float64 {
+		per := m.AccelStages(a)
+		lo, hi := math.Inf(1), 0.0
+		for _, d := range per {
+			if d.Busy() <= 0 {
+				continue
+			}
+			lo = math.Min(lo, d.Busy())
+			hi = math.Max(hi, d.Busy())
+		}
+		return hi / lo
+	}
+	start := ratio(a)
+	if start < 1.2 {
+		t.Fatalf("test premise broken: uniform split already balanced (ratio %v)", start)
+	}
+	e := New(128)
+	for i := 0; i < 60; i++ {
+		a = e.Adjust(i, m.Stages(a), a)
+	}
+	end := ratio(a)
+	if end >= start {
+		t.Fatalf("DRM did not narrow the device imbalance: %v -> %v", start, end)
+	}
+	// Converged into (or near) the hysteresis band.
+	if end > 1+2*e.Tolerance {
+		t.Fatalf("unequal-device stage times did not converge: ratio %v", end)
+	}
+	if a.TotalBatch() != 3*1024 {
+		t.Fatalf("global batch not conserved: %d", a.TotalBatch())
 	}
 }
 

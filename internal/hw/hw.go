@@ -64,6 +64,15 @@ type Device struct {
 	// of the software stack driving this device (Python/PyTorch dataloader,
 	// autograd bookkeeping, etc.). Zero for the HLS-native FPGA path.
 	FrameworkOverheadMs float64
+
+	// LoaderGBs, when positive, is the fixed bandwidth of the host-framework
+	// feature gather feeding this device (a torch-style collation pinned to
+	// one Python process: thread-independent and serialized across all
+	// devices driven by that stack). Zero means the device's batches are
+	// gathered by the native threaded Feature Loader. Device batches on the
+	// two stacks load concurrently — the lever that makes mixed fleets more
+	// than the sum of their parts.
+	LoaderGBs float64
 }
 
 // EffectiveTFLOPS returns the achievable dense-compute rate.
@@ -112,14 +121,30 @@ func (l Link) TransferSec(bytes float64) float64 {
 }
 
 // Platform is one compute node: sockets × CPU, plus accelerators behind PCIe.
+// The accelerator fleet may be heterogeneous (GPUs and FPGAs side by side);
+// AccelLinks then carries each device's own host link.
 type Platform struct {
 	Name    string
 	CPU     Device
 	Sockets int
 	Accels  []Device
-	PCIe    Link // per-accelerator link
+	PCIe    Link // default per-accelerator link (used when AccelLinks is empty)
 	Xbus    Link // processor interconnect (xGMI / QPI)
 	DRAMGB  float64
+
+	// AccelLinks, when non-empty, gives accelerator i its own host link
+	// (mixed fleets put each device generation on its native PCIe slot).
+	// Must be empty or exactly len(Accels) long.
+	AccelLinks []Link
+}
+
+// AccelLink returns accelerator i's host link: its private entry in
+// AccelLinks when present, the shared PCIe default otherwise.
+func (p Platform) AccelLink(i int) Link {
+	if i >= 0 && i < len(p.AccelLinks) {
+		return p.AccelLinks[i]
+	}
+	return p.PCIe
 }
 
 // TotalCPUTFLOPS returns the combined CPU peak across sockets.
@@ -160,11 +185,25 @@ func (p Platform) Validate() error {
 	if p.PCIe.EffGBs() <= 0 {
 		return fmt.Errorf("hw: platform %s has no PCIe bandwidth", p.Name)
 	}
+	if len(p.AccelLinks) != 0 {
+		if len(p.AccelLinks) != len(p.Accels) {
+			return fmt.Errorf("hw: platform %s has %d accel links for %d accelerators",
+				p.Name, len(p.AccelLinks), len(p.Accels))
+		}
+		for i, l := range p.AccelLinks {
+			if l.EffGBs() <= 0 {
+				return fmt.Errorf("hw: platform %s accelerator %d (%s) has no link bandwidth",
+					p.Name, i, p.Accels[i].Name)
+			}
+		}
+	}
 	return nil
 }
 
-// WithAccelCount returns a copy of p holding n copies of its first
-// accelerator. Used by the scalability sweep (paper Fig. 9, 1–16 accels).
+// WithAccelCount returns a copy of p holding n accelerators drawn
+// round-robin from its existing device list (with their links), so mixed
+// fleets keep their composition under the scalability sweep (paper Fig. 9,
+// 1–16 accels) instead of silently collapsing to clones of the first device.
 func (p Platform) WithAccelCount(n int) Platform {
 	if len(p.Accels) == 0 {
 		panic("hw: WithAccelCount on platform without accelerators")
@@ -172,7 +211,13 @@ func (p Platform) WithAccelCount(n int) Platform {
 	out := p
 	out.Accels = make([]Device, n)
 	for i := range out.Accels {
-		out.Accels[i] = p.Accels[0]
+		out.Accels[i] = p.Accels[i%len(p.Accels)]
+	}
+	if len(p.AccelLinks) > 0 {
+		out.AccelLinks = make([]Link, n)
+		for i := range out.AccelLinks {
+			out.AccelLinks[i] = p.AccelLinks[i%len(p.AccelLinks)]
+		}
 	}
 	out.Name = fmt.Sprintf("%s x%d", p.Name, n)
 	return out

@@ -153,6 +153,76 @@ func TestWithAccelCountPanicsWithoutAccels(t *testing.T) {
 	Platform{CPU: EPYC7763(), Sockets: 1}.WithAccelCount(2)
 }
 
+// WithAccelCount on a mixed fleet must keep the composition (round-robin)
+// rather than silently cloning the first device.
+func TestWithAccelCountRoundRobinsMixedFleet(t *testing.T) {
+	p, err := HeteroPlatform(GPU, FPGA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.WithAccelCount(5)
+	wantKinds := []Kind{GPU, FPGA, GPU, FPGA, GPU}
+	for i, k := range wantKinds {
+		if q.Accels[i].Kind != k {
+			t.Fatalf("accel %d kind = %v, want %v", i, q.Accels[i].Kind, k)
+		}
+	}
+	if len(q.AccelLinks) != 5 {
+		t.Fatalf("links = %d", len(q.AccelLinks))
+	}
+	if q.AccelLink(1).Name != PCIe3x16().Name || q.AccelLink(2).Name != PCIe4x16().Name {
+		t.Fatal("links did not round-robin with their devices")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeteroPlatform(t *testing.T) {
+	p, err := HeteroPlatform(GPU, GPU, FPGA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Accels) != 3 || p.Accels[0].Kind != GPU || p.Accels[2].Kind != FPGA {
+		t.Fatalf("fleet composition wrong: %+v", p.Accels)
+	}
+	// Per-device links: GPUs on PCIe4, the FPGA on PCIe3.
+	if p.AccelLink(0).Name != PCIe4x16().Name || p.AccelLink(2).Name != PCIe3x16().Name {
+		t.Fatalf("links: %v / %v", p.AccelLink(0).Name, p.AccelLink(2).Name)
+	}
+	// The default link is the slowest of the fleet (conservative fallback).
+	if p.PCIe.Name != PCIe3x16().Name {
+		t.Fatalf("default PCIe = %v", p.PCIe.Name)
+	}
+	if _, err := HeteroPlatform(); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := HeteroPlatform(CPU); err == nil {
+		t.Fatal("CPU accepted as accelerator kind")
+	}
+}
+
+// Validate must reject per-device link lists that do not match the fleet.
+func TestValidateAccelLinks(t *testing.T) {
+	p, err := HeteroPlatform(GPU, FPGA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.AccelLinks = bad.AccelLinks[:1]
+	if bad.Validate() == nil {
+		t.Fatal("mismatched link count accepted")
+	}
+	bad2 := p
+	bad2.AccelLinks = []Link{PCIe4x16(), {}}
+	if bad2.Validate() == nil {
+		t.Fatal("zero-bandwidth per-device link accepted")
+	}
+}
+
 func TestGPUvsFPGAQualitativeRegime(t *testing.T) {
 	// The paper's central hardware claim (§VI-E1): the FPGA kernel avoids
 	// framework overhead and achieves high gather efficiency; the

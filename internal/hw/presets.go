@@ -1,5 +1,7 @@
 package hw
 
+import "fmt"
+
 // Device presets. Peak numbers come from the paper's Table II; efficiency
 // factors and overheads are calibration constants chosen to reproduce the
 // paper's measured *ratios* (see EXPERIMENTS.md "Calibration"). The decisive
@@ -34,6 +36,7 @@ func A5000() Device {
 		PeakTFLOPS: 27.8, FreqGHz: 2.0, MemBWGBs: 768, OnChipMB: 6,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		Pipelined: false, KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
+		LoaderGBs: 6,
 	}
 }
 
@@ -75,6 +78,53 @@ func CPUFPGAPlatform() Platform {
 	}
 }
 
+// AccelDevice returns the preset accelerator and host link for a device
+// kind: GPUs are A5000s behind PCIe 4.0, FPGAs are U250s behind PCIe 3.0.
+func AccelDevice(k Kind) (Device, Link, error) {
+	switch k {
+	case GPU:
+		return A5000(), PCIe4x16(), nil
+	case FPGA:
+		return U250(), PCIe3x16(), nil
+	default:
+		return Device{}, Link{}, fmt.Errorf("hw: %v is not an accelerator kind", k)
+	}
+}
+
+// HeteroPlatform builds the mixed single-node machine the paper's title
+// claims (§II-C): dual EPYC 7763 hosting the given accelerators side by
+// side, each device on its own kind-native link (A5000 ↔ PCIe 4.0 x16,
+// U250 ↔ PCIe 3.0 x16). The platform's default PCIe is the slowest link in
+// the fleet, so code that ignores AccelLinks stays conservative.
+func HeteroPlatform(kinds ...Kind) (Platform, error) {
+	if len(kinds) == 0 {
+		return Platform{}, fmt.Errorf("hw: hetero platform needs at least one accelerator")
+	}
+	p := Platform{
+		Name: "2xEPYC7763", CPU: EPYC7763(), Sockets: 2,
+		Xbus: XGMI(), DRAMGB: 1024,
+	}
+	counts := map[Kind]int{}
+	for _, k := range kinds {
+		dev, link, err := AccelDevice(k)
+		if err != nil {
+			return Platform{}, err
+		}
+		p.Accels = append(p.Accels, dev)
+		p.AccelLinks = append(p.AccelLinks, link)
+		if p.PCIe.EffGBs() == 0 || link.EffGBs() < p.PCIe.EffGBs() {
+			p.PCIe = link
+		}
+		counts[k]++
+	}
+	for _, k := range []Kind{GPU, FPGA} {
+		if counts[k] > 0 {
+			p.Name += fmt.Sprintf(" + %dx%s", counts[k], k)
+		}
+	}
+	return p, nil
+}
+
 // Comparator platform components (paper Table V). Peak TFLOPS chosen so the
 // platform totals reproduce the paper's Table VI → Table VII normalization
 // (sec × TFLOPS): PaGraph ≈ 114.5, P3 ≈ 148.8 (4 nodes), DistDGLv2 ≈ 544
@@ -96,6 +146,7 @@ func V100() Device {
 		PeakTFLOPS: 14.0, FreqGHz: 1.53, MemBWGBs: 900, OnChipMB: 6,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
+		LoaderGBs: 6,
 	}
 }
 
@@ -115,6 +166,7 @@ func P100() Device {
 		PeakTFLOPS: 9.3, FreqGHz: 1.3, MemBWGBs: 732, OnChipMB: 4,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
+		LoaderGBs: 6,
 	}
 }
 
@@ -125,6 +177,7 @@ func T4() Device {
 		PeakTFLOPS: 8.1, FreqGHz: 1.59, MemBWGBs: 320, OnChipMB: 4,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
+		LoaderGBs: 6,
 	}
 }
 

@@ -103,6 +103,20 @@ func (a Assignment) Clone() Assignment {
 	return out
 }
 
+// DeviceStage is one accelerator's share of an iteration: its private-link
+// transfer time and its propagation time. The per-device vector is what lets
+// the DRM engine move work between *unequal* devices — the aggregated maxima
+// in StageTimes cannot say which device is the straggler.
+type DeviceStage struct {
+	Trans float64
+	Train float64
+}
+
+// Busy returns the device's per-iteration pipeline constraint: transfer and
+// propagation overlap across iterations, so the device sustains whichever is
+// slower.
+func (d DeviceStage) Busy() float64 { return math.Max(d.Trans, d.Train) }
+
 // StageTimes are per-iteration durations of the pipeline stages (paper
 // Fig. 4/5 and Algorithm 1 inputs). Zero means the stage is absent.
 type StageTimes struct {
@@ -113,6 +127,11 @@ type StageTimes struct {
 	TrainCPU  float64 // T_TC
 	TrainAcc  float64 // T_TA (max over accelerators)
 	Sync      float64 // gradient all-reduce (part of propagation stage, Eq. 9)
+
+	// PerAccel resolves Trans/TrainAcc per device (PerAccel[i].Trans etc.);
+	// the aggregates above remain the maxima. Empty when the producer
+	// predates the per-device API or the fleet is empty.
+	PerAccel []DeviceStage
 
 	// Multi-node charges (zero on a single node). NetFetch is the remote
 	// feature traffic over the node's NIC, overlapped with the local pipeline
@@ -239,20 +258,55 @@ func (m *Model) SamplingTimeAccel(batch int) float64 {
 
 // LoadTime returns T_Load (Eq. 7): the Feature Loader gathers Σ_i |V0_i|
 // feature rows from CPU DRAM. Achieved bandwidth scales with thread count up
-// to saturation.
+// to saturation. Rows bound for devices driven by a framework loader
+// (Device.LoaderGBs) go through that stack instead; see LoadTimeForDeviceRows.
+//
+// The CPU trainer reads features in place; no explicit load stage is needed
+// for its share (it still costs gather bandwidth, charged in TrainCPU).
 func (m *Model) LoadTime(a Assignment) float64 {
-	var rows float64
-	for _, b := range a.AccelBatch {
+	rows := make([]float64, len(m.Plat.Accels))
+	for i, b := range a.AccelBatch {
+		if i >= len(rows) {
+			break
+		}
 		if b > 0 {
-			rows += m.Work.SizesFor(b).VL[0]
+			rows[i] = m.Work.SizesFor(b).VL[0]
 		}
 	}
-	// The CPU trainer reads features in place; no explicit load stage needed
-	// for its share (it still costs gather bandwidth, charged in TrainCPU).
-	if rows == 0 {
+	return m.LoadTimeForDeviceRows(rows, a.LoadThreads)
+}
+
+// LoadTimeForDeviceRows is Eq. 7 over explicit per-accelerator feature-row
+// counts (rows[i] feeds Plat.Accels[i]). Two loader stacks exist: devices
+// with LoaderGBs > 0 are fed by their host framework's gather — a single
+// process whose work serializes across all such devices — while the rest go
+// through the native threaded loader. The two stacks run concurrently, so
+// the stage time is the max of the two. A Profile-level LoaderGBs overrides
+// everything (the whole run is on that framework's stack).
+func (m *Model) LoadTimeForDeviceRows(rows []float64, threads int) float64 {
+	var total float64
+	for _, r := range rows {
+		total += r
+	}
+	if total <= 0 {
 		return 0
 	}
-	return m.LoadTimeForRows(rows, a.LoadThreads)
+	if m.Profile.LoaderGBs > 0 {
+		return m.LoadTimeForRows(total, threads)
+	}
+	bytesPerRow := float64(m.Work.Spec.FeatDims[0]) * 4
+	var frameworkSec, nativeRows float64
+	for i, r := range rows {
+		if r <= 0 {
+			continue
+		}
+		if i < len(m.Plat.Accels) && m.Plat.Accels[i].LoaderGBs > 0 {
+			frameworkSec += r * bytesPerRow / (m.Plat.Accels[i].LoaderGBs * 1e9)
+		} else {
+			nativeRows += r
+		}
+	}
+	return math.Max(frameworkSec, m.LoadTimeForRows(nativeRows, threads))
 }
 
 // LoadTimeForRows is Eq. 7 for an explicit feature-row count.
@@ -274,14 +328,14 @@ func (m *Model) LoadTimeForRows(rows float64, threads int) float64 {
 }
 
 // TransferTime returns T_Tran (Eq. 8) for the busiest accelerator: feature
-// sub-matrix plus mini-batch topology over its private PCIe link.
+// sub-matrix plus mini-batch topology over each device's private link.
 func (m *Model) TransferTime(a Assignment) float64 {
 	var worst float64
-	for _, b := range a.AccelBatch {
+	for i, b := range a.AccelBatch {
 		if b == 0 {
 			continue
 		}
-		t := m.TransferTimeFor(m.Work.SizesFor(b))
+		t := m.TransferTimeDev(i, m.Work.SizesFor(b))
 		if t > worst {
 			worst = t
 		}
@@ -290,8 +344,18 @@ func (m *Model) TransferTime(a Assignment) float64 {
 }
 
 // TransferTimeFor is Eq. 8 for explicit sampled-set sizes: the feature
-// sub-matrix plus the mini-batch topology crossing one PCIe link.
+// sub-matrix plus the mini-batch topology crossing the platform's default
+// PCIe link. Use TransferTimeDev when the fleet carries per-device links.
 func (m *Model) TransferTimeFor(s Sizes) float64 {
+	return m.transferSec(m.Plat.PCIe, s)
+}
+
+// TransferTimeDev is Eq. 8 over accelerator i's own host link.
+func (m *Model) TransferTimeDev(i int, s Sizes) float64 {
+	return m.transferSec(m.Plat.AccelLink(i), s)
+}
+
+func (m *Model) transferSec(link hw.Link, s Sizes) float64 {
 	sfeat := m.Work.TransferBytesPerFeat
 	if sfeat <= 0 {
 		sfeat = 4
@@ -303,7 +367,7 @@ func (m *Model) TransferTimeFor(s Sizes) float64 {
 	for _, e := range s.EL {
 		bytes += e * 8 // topology: (src,dst) int32 pairs
 	}
-	return m.Plat.PCIe.TransferSec(bytes)
+	return link.TransferSec(bytes)
 }
 
 // propTime returns forward+backward time on a device for a batch (Eq. 10),
@@ -330,6 +394,26 @@ const cpuTrainerBackendEff = 0.30
 // runtime to charge virtual device time for the mini-batches it actually
 // sampled rather than their expectation.
 func (m *Model) PropTimeFor(dev hw.Device, s Sizes, cpuShare float64) float64 {
+	fwd, bwd := m.propFwdBwd(dev, s, cpuShare)
+	return fwd + bwd
+}
+
+// PropForwardFor returns only the forward half of Eq. 10 — what the FPGA
+// dataflow backend executes and measures for itself.
+func (m *Model) PropForwardFor(dev hw.Device, s Sizes, cpuShare float64) float64 {
+	fwd, _ := m.propFwdBwd(dev, s, cpuShare)
+	return fwd
+}
+
+// PropBackwardFor returns only the backward half of Eq. 10. The executing
+// runtime adds it to a measured forward time when the device backend reports
+// its own forward cycles (the dataflow kernel models forward only).
+func (m *Model) PropBackwardFor(dev hw.Device, s Sizes, cpuShare float64) float64 {
+	_, bwd := m.propFwdBwd(dev, s, cpuShare)
+	return bwd
+}
+
+func (m *Model) propFwdBwd(dev hw.Device, s Sizes, cpuShare float64) (float64, float64) {
 	dims := m.Work.Spec.FeatDims
 	L := m.Work.Spec.Layers()
 
@@ -374,7 +458,7 @@ func (m *Model) PropTimeFor(dev hw.Device, s Sizes, cpuShare float64) float64 {
 	for l := 1; l < L; l++ {
 		bwd += combine(aggT(l), updT(l))
 	}
-	return fwd + bwd
+	return fwd, bwd
 }
 
 // Per-batch overheads the executing runtime charges on top of the analytic
@@ -395,7 +479,15 @@ const (
 // the executing runtime charges: framework overhead on every device, and
 // pipeline flush + kernel launches on accelerators.
 func (m *Model) PropWithOverheads(dev hw.Device, s Sizes, cpuShare float64) float64 {
-	t := m.PropTimeFor(dev, s, cpuShare)
+	return DeviceOverheads(dev, m.PropTimeFor(dev, s, cpuShare))
+}
+
+// DeviceOverheads applies the per-batch runtime overheads to a raw
+// propagation time t on dev: framework overhead on every device, pipeline
+// flush + kernel launches on accelerators. Exported so a trainer backend
+// that *measures* its propagation time (the FPGA dataflow kernel) charges
+// the same overheads as the analytically priced devices.
+func DeviceOverheads(dev hw.Device, t float64) float64 {
 	if dev.Kind == hw.CPU {
 		return t + dev.FrameworkOverheadMs*1e-3
 	}
@@ -427,7 +519,9 @@ func (m *Model) TrainTimeAccel(a Assignment) float64 {
 	return worst
 }
 
-// SyncTime returns T_sync (Eq. 13): the model crosses PCIe twice.
+// SyncTime returns T_sync (Eq. 13): the model crosses the host link twice.
+// Every device must receive the averaged gradient, so a mixed fleet is gated
+// by its slowest link.
 func (m *Model) SyncTime() float64 {
 	dims := m.Work.Spec.FeatDims
 	var params float64
@@ -438,7 +532,33 @@ func (m *Model) SyncTime() float64 {
 		}
 		params += fin*float64(dims[l+1]) + float64(dims[l+1])
 	}
-	return 2 * params * 4 / (m.Plat.PCIe.EffGBs() * 1e9)
+	bw := m.Plat.PCIe.EffGBs()
+	for i := range m.Plat.Accels {
+		if l := m.Plat.AccelLink(i).EffGBs(); l < bw {
+			bw = l
+		}
+	}
+	return 2 * params * 4 / (bw * 1e9)
+}
+
+// AccelStages evaluates Eq. 8 and Eq. 10 per accelerator for an assignment:
+// device i's own-link transfer time and propagation time for its share.
+func (m *Model) AccelStages(a Assignment) []DeviceStage {
+	if len(m.Plat.Accels) == 0 {
+		return nil
+	}
+	out := make([]DeviceStage, len(m.Plat.Accels))
+	for i, b := range a.AccelBatch {
+		if i >= len(out) || b <= 0 {
+			continue
+		}
+		s := m.Work.SizesFor(b)
+		out[i] = DeviceStage{
+			Trans: m.TransferTimeDev(i, s),
+			Train: m.propTime(m.Plat.Accels[i], b, 1),
+		}
+	}
+	return out
 }
 
 // Stages evaluates all stage times for an assignment.
@@ -449,6 +569,7 @@ func (m *Model) Stages(a Assignment) StageTimes {
 		TrainCPU: m.TrainTimeCPU(a),
 		TrainAcc: m.TrainTimeAccel(a),
 		Sync:     m.SyncTime(),
+		PerAccel: m.AccelStages(a),
 	}
 	total := a.TotalBatch()
 	frac := a.AccelSampleFrac
@@ -509,11 +630,76 @@ func (m *Model) ThroughputMTEPS(a Assignment) float64 {
 	return edges / t / 1e6
 }
 
+// DeviceRate returns accelerator i's predicted sustainable training rate in
+// targets/second: its per-iteration pipeline constraint is whichever is
+// slower of propagation (Eq. 10) and its own-link transfer (Eq. 8),
+// evaluated at the workload's reference batch. This is Eqs. 5–13 applied to
+// each device individually — the basis of the heterogeneous design-phase
+// mapping.
+func (m *Model) DeviceRate(i int) float64 {
+	b := m.Work.BatchSize
+	t := math.Max(m.propTime(m.Plat.Accels[i], b, 1),
+		m.TransferTimeDev(i, m.Work.SizesFor(b)))
+	if t <= 0 {
+		return 0
+	}
+	return float64(b) / t
+}
+
+// Apportion splits total into len(weights) integer shares proportional to
+// the weights (largest-remainder rounding, ties to the first index; uniform
+// when all weights are zero). The shares always sum to total; weights is
+// never modified. Shared by the design-phase mapping and the DRM engine's
+// heterogeneous work moves.
+func Apportion(total int, weights []float64) []int {
+	n := len(weights)
+	out := make([]int, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += math.Max(0, w)
+	}
+	weight := func(i int) float64 {
+		if sum <= 0 {
+			return 1 // all-zero weights: uniform split
+		}
+		return math.Max(0, weights[i])
+	}
+	denom := sum
+	if denom <= 0 {
+		denom = float64(n)
+	}
+	assigned := 0
+	fracs := make([]float64, n)
+	for i := range out {
+		exact := float64(total) * weight(i) / denom
+		out[i] = int(exact)
+		fracs[i] = exact - float64(out[i])
+		assigned += out[i]
+	}
+	for rem := total - assigned; rem > 0; rem-- {
+		best := 0
+		for i := 1; i < n; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		out[best]++
+		fracs[best] = -1
+	}
+	return out
+}
+
 // InitialAssignment performs the design-phase coarse task mapping (§IV-A):
 // it keeps the global batch at BatchSize × #accelerators (so convergence
 // matches the accelerator-only baseline) and scans the CPU share, picking
-// the split with the lowest predicted iteration time. CPU threads start with
-// a fixed sampler/loader/trainer split of the available cores.
+// the split with the lowest predicted iteration time. The accelerator share
+// is split proportionally to each device's predicted throughput
+// (DeviceRate), so unequal devices start near their equilibrium instead of
+// all inheriting the busiest clone's share. CPU threads start with a fixed
+// sampler/loader/trainer split of the available cores.
 func (m *Model) InitialAssignment(hybrid bool) Assignment {
 	nAcc := len(m.Plat.Accels)
 	cores := m.Plat.TotalCPUCores()
@@ -527,6 +713,10 @@ func (m *Model) InitialAssignment(hybrid bool) Assignment {
 	if nAcc == 0 {
 		a.CPUBatch = total
 		return a
+	}
+	rates := make([]float64, nAcc)
+	for i := range rates {
+		rates[i] = m.DeviceRate(i)
 	}
 	// The design-phase mapping is deliberately coarse (the paper: "derive a
 	// coarse-grained task mapping ... during the design phase"); the DRM
@@ -558,11 +748,7 @@ func (m *Model) InitialAssignment(hybrid bool) Assignment {
 				cand.TrainThreads = 0
 			}
 			cand.CPUBatch = total * cpuPct / 100
-			rest := total - cand.CPUBatch
-			for i := range cand.AccelBatch {
-				cand.AccelBatch[i] = rest / nAcc
-			}
-			cand.AccelBatch[nAcc-1] += rest - (rest/nAcc)*nAcc
+			cand.AccelBatch = Apportion(total-cand.CPUBatch, rates)
 			t := m.IterTime(cand)
 			if t < bestT {
 				bestT = t

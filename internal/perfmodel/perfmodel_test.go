@@ -343,6 +343,168 @@ func TestStageMonotonicity(t *testing.T) {
 	}
 }
 
+func heteroModel(t *testing.T, kinds ...hw.Kind) *Model {
+	t.Helper()
+	plat, err := hw.HeteroPlatform(kinds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(plat, DefaultWorkload(datagen.OGBNProducts, gnn.SAGE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Per-device links: the same payload must cost more over the FPGA's PCIe3
+// than over the GPU's PCIe4, and TransferTime must follow each device's own
+// link rather than the platform default.
+func TestTransferTimeDevUsesOwnLink(t *testing.T) {
+	m := heteroModel(t, hw.GPU, hw.FPGA)
+	s := m.Work.SizesFor(1024)
+	gpu, fpga := m.TransferTimeDev(0, s), m.TransferTimeDev(1, s)
+	if gpu >= fpga {
+		t.Fatalf("PCIe4 transfer %v not faster than PCIe3 %v", gpu, fpga)
+	}
+	// Equal shares: the aggregate is the slow link's time, not the default's.
+	a := Assignment{AccelBatch: []int{1024, 1024}}
+	if got := m.TransferTime(a); math.Abs(got-fpga) > 1e-15 {
+		t.Fatalf("TransferTime = %v, want slowest device's %v", got, fpga)
+	}
+}
+
+// Mixed-fleet loading: GPU-bound rows ride the framework loader, FPGA-bound
+// rows the native loader, and the two stacks overlap (max, not sum).
+func TestLoadTimeSplitsLoaderStacks(t *testing.T) {
+	m := heteroModel(t, hw.GPU, hw.FPGA)
+	bytesPerRow := float64(m.Work.Spec.FeatDims[0]) * 4
+	gpuOnly := m.LoadTimeForDeviceRows([]float64{50000, 0}, 64)
+	wantGPU := 50000 * bytesPerRow / (hw.A5000().LoaderGBs * 1e9)
+	if math.Abs(gpuOnly-wantGPU) > wantGPU*1e-9 {
+		t.Fatalf("framework-loader time = %v, want %v", gpuOnly, wantGPU)
+	}
+	fpgaOnly := m.LoadTimeForDeviceRows([]float64{0, 50000}, 64)
+	if fpgaOnly >= gpuOnly {
+		t.Fatalf("native loader %v not faster than framework loader %v", fpgaOnly, gpuOnly)
+	}
+	both := m.LoadTimeForDeviceRows([]float64{50000, 50000}, 64)
+	if math.Abs(both-math.Max(gpuOnly, fpgaOnly)) > 1e-12 {
+		t.Fatalf("stacks should overlap: %v, want max(%v, %v)", both, gpuOnly, fpgaOnly)
+	}
+	// A Profile-level loader overrides the split (the whole run is torch).
+	m.Profile = TorchProfile()
+	override := m.LoadTimeForDeviceRows([]float64{50000, 50000}, 64)
+	if math.Abs(override-m.LoadTimeForRows(100000, 64)) > 1e-12 {
+		t.Fatal("Profile.LoaderGBs should override the per-device split")
+	}
+}
+
+// The homogeneous CPU-FPGA path must be bit-identical to the pre-split
+// loader model (calibrated figures depend on it).
+func TestLoadTimeNativeFleetUnchanged(t *testing.T) {
+	m := fpgaModel(t, datagen.OGBNPapers100M, gnn.GCN)
+	a := Assignment{AccelBatch: []int{512, 256, 0, 128}, LoadThreads: 32}
+	var rows float64
+	for _, b := range a.AccelBatch {
+		if b > 0 {
+			rows += m.Work.SizesFor(b).VL[0]
+		}
+	}
+	if got, want := m.LoadTime(a), m.LoadTimeForRows(rows, 32); math.Abs(got-want) > want*1e-12 {
+		t.Fatalf("native LoadTime = %v, want %v", got, want)
+	}
+}
+
+// Sync is gated by the slowest link in the fleet.
+func TestSyncTimeSlowestLink(t *testing.T) {
+	mixed := heteroModel(t, hw.GPU, hw.FPGA)
+	gpuOnly := heteroModel(t, hw.GPU, hw.GPU)
+	if mixed.SyncTime() <= gpuOnly.SyncTime() {
+		t.Fatal("mixed-fleet sync should pay the FPGA's slower link")
+	}
+}
+
+// The design-phase mapping sizes shares proportional to per-device
+// throughput: unequal devices get unequal shares, equal devices equal ones.
+func TestInitialAssignmentProportionalShares(t *testing.T) {
+	m := heteroModel(t, hw.GPU, hw.GPU, hw.FPGA)
+	a := m.InitialAssignment(true)
+	if a.TotalBatch() != 3*m.Work.BatchSize {
+		t.Fatalf("total batch %d, want %d", a.TotalBatch(), 3*m.Work.BatchSize)
+	}
+	if a.AccelBatch[0] != a.AccelBatch[1] {
+		t.Fatalf("equal GPUs got unequal shares: %v", a.AccelBatch)
+	}
+	rGPU, rFPGA := m.DeviceRate(0), m.DeviceRate(2)
+	if rGPU == rFPGA {
+		t.Fatal("test premise broken: devices predict identical rates")
+	}
+	// The faster device must carry the larger share.
+	if (rGPU > rFPGA) != (a.AccelBatch[0] > a.AccelBatch[2]) {
+		t.Fatalf("shares %v do not follow rates (GPU %v, FPGA %v)",
+			a.AccelBatch, rGPU, rFPGA)
+	}
+	// And the split should track the rate ratio, not just its sign.
+	gotRatio := float64(a.AccelBatch[0]) / float64(a.AccelBatch[2])
+	wantRatio := rGPU / rFPGA
+	if gotRatio < wantRatio*0.9 || gotRatio > wantRatio*1.1 {
+		t.Fatalf("share ratio %v far from rate ratio %v", gotRatio, wantRatio)
+	}
+}
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+		want    []int
+	}{
+		{10, []float64{1, 1}, []int{5, 5}},
+		{10, []float64{3, 1}, []int{8, 2}}, // 7.5/2.5 → tie goes to the first
+		{10, []float64{3, 2}, []int{6, 4}},
+		{7, []float64{1, 1, 1}, []int{3, 2, 2}},
+		{5, []float64{0, 0}, []int{3, 2}}, // zero weights → uniform
+		{0, []float64{1, 2}, []int{0, 0}},
+	}
+	for _, c := range cases {
+		orig := append([]float64(nil), c.weights...)
+		got := Apportion(c.total, c.weights)
+		sum := 0
+		for i, g := range got {
+			if g != c.want[i] {
+				t.Fatalf("Apportion(%d, %v) = %v, want %v", c.total, orig, got, c.want)
+			}
+			sum += g
+		}
+		if sum != c.total {
+			t.Fatalf("Apportion(%d, %v) sums to %d", c.total, orig, sum)
+		}
+		for i := range orig {
+			if c.weights[i] != orig[i] {
+				t.Fatalf("Apportion mutated weights: %v -> %v", orig, c.weights)
+			}
+		}
+	}
+}
+
+// Per-device stages: the aggregate maxima must agree with the vector.
+func TestAccelStagesMatchAggregates(t *testing.T) {
+	m := heteroModel(t, hw.GPU, hw.FPGA)
+	a := Assignment{AccelBatch: []int{1024, 512}, SampThreads: 16, LoadThreads: 16}
+	st := m.Stages(a)
+	if len(st.PerAccel) != 2 {
+		t.Fatalf("PerAccel = %v", st.PerAccel)
+	}
+	maxTrans, maxTrain := 0.0, 0.0
+	for _, d := range st.PerAccel {
+		maxTrans = math.Max(maxTrans, d.Trans)
+		maxTrain = math.Max(maxTrain, d.Train)
+	}
+	if math.Abs(st.Trans-maxTrans) > 1e-15 || math.Abs(st.TrainAcc-maxTrain) > 1e-15 {
+		t.Fatalf("aggregates (%v, %v) disagree with per-device maxima (%v, %v)",
+			st.Trans, st.TrainAcc, maxTrans, maxTrain)
+	}
+}
+
 // Scalability sanity (Fig. 9 regime): throughput grows with accelerator
 // count but saturates as the CPU memory bandwidth becomes the limit
 // (the paper observes saturation past ~12 accelerators).

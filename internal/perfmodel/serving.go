@@ -110,8 +110,19 @@ func (m *Model) PredictServing(l ServingLoad) (ServingPrediction, error) {
 		p.Stage.SampCPU = m.SampleTimeCPUEdges(edges, l.SampThreads)
 		p.Stage.Load = m.LoadTimeForRows(sz.VL[0], l.LoadThreads)
 		if l.Accel {
-			p.Stage.Trans = m.TransferTimeFor(sz)
-			p.Stage.TrainAcc = m.PropWithOverheads(m.Plat.Accels[0], sz, 1)
+			// Conservative device choice on mixed fleets: a worker may land
+			// on any accelerator, so price the busiest (slowest) one. On a
+			// single-accel or homogeneous fleet this is device 0, as before.
+			busiest := 0
+			worst := -1.0
+			for i := range m.Plat.Accels {
+				t := m.TransferTimeDev(i, sz) + m.PropWithOverheads(m.Plat.Accels[i], sz, 1)
+				if t > worst {
+					worst, busiest = t, i
+				}
+			}
+			p.Stage.Trans = m.TransferTimeDev(busiest, sz)
+			p.Stage.TrainAcc = m.PropWithOverheads(m.Plat.Accels[busiest], sz, 1)
 		} else {
 			share := float64(cores-l.SampThreads-l.LoadThreads) / float64(cores)
 			if share <= 0 {

@@ -53,19 +53,21 @@ type Config struct {
 	// Zero selects the default (0.02); pass a negative value to disable
 	// noise entirely.
 	NoiseStd float64
+	// InitialAssign overrides the design-phase mapping the simulation starts
+	// from (nil = Model.InitialAssignment). Used to study how the DRM engine
+	// recovers from a naive split — e.g. uniform shares across unequal
+	// devices.
+	InitialAssign *perfmodel.Assignment
 }
 
-// Overhead constants the analytic model omits (paper §VI-C).
+// Overhead constants the analytic model omits (paper §VI-C). The
+// accelerator-side overheads (kernel launches, pipeline flush, framework
+// cost) live in perfmodel.DeviceOverheads, shared with the executing
+// runtime, and are charged per device here.
 const (
 	// runtimeBarrierUs is the per-iteration cost of the protocol handshakes
 	// (DONE/ACK, condition variables) and Go/pthread scheduling.
 	runtimeBarrierUs = 120.0
-	// kernelsPerIteration is how many device kernels one training iteration
-	// launches on an accelerator (aggregate+update, forward+backward).
-	kernelsPerIteration = 4
-	// flushFraction models dataflow pipeline fill/flush as a fraction of the
-	// accelerator's compute time.
-	flushFraction = 0.06
 )
 
 // Result reports a simulated epoch.
@@ -87,6 +89,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	m := cfg.Model
 	assign := m.InitialAssignment(cfg.Mode.Hybrid)
+	if cfg.InitialAssign != nil {
+		assign = cfg.InitialAssign.Clone()
+	}
 	iters := cfg.Iterations
 	if iters <= 0 {
 		iters = m.Iterations(assign)
@@ -165,29 +170,53 @@ func applyOverheads(st *perfmodel.StageTimes, plat hw.Platform, a perfmodel.Assi
 	rng *tensor.RNG, noiseStd float64) {
 	barrier := runtimeBarrierUs * 1e-6
 
-	// Accelerator trainer: framework overhead + kernel launches + flush.
-	if len(plat.Accels) > 0 && st.TrainAcc > 0 {
-		dev := plat.Accels[0]
-		st.TrainAcc += dev.FrameworkOverheadMs*1e-3 +
-			float64(kernelsPerIteration)*dev.KernelLaunchUs*1e-6 +
-			flushFraction*st.TrainAcc
+	// Accelerator trainers: framework overhead + kernel launches + flush,
+	// charged per device through the per-device stage vector — a mixed fleet
+	// pays each device's own stack, not the first device's. (For homogeneous
+	// fleets this equals the old busiest-clone charge. Stages always fills
+	// PerAccel when the fleet is non-empty, so this is the only path.)
+	st.TrainAcc = 0
+	for i := range st.PerAccel {
+		if i >= len(plat.Accels) || st.PerAccel[i].Train <= 0 {
+			continue
+		}
+		st.PerAccel[i].Train = perfmodel.DeviceOverheads(plat.Accels[i], st.PerAccel[i].Train)
+		st.TrainAcc = math.Max(st.TrainAcc, st.PerAccel[i].Train)
 	}
 	// CPU trainer: host framework overhead.
 	if st.TrainCPU > 0 {
 		st.TrainCPU += plat.CPU.FrameworkOverheadMs * 1e-3
 	}
-	noise := func(t float64) float64 {
+	// One multiplicative noise draw per stage per iteration: the whole stage
+	// jitters together (a slow iteration is slow for every device), so the
+	// per-device entries share the aggregate's factor and keep the invariant
+	// that the aggregates are the per-device maxima — the DRM engine's
+	// intra-fleet move sees the same measurement jitter the aggregates carry.
+	noiseF := func(t float64) (float64, float64) {
 		if t <= 0 {
-			return t
+			return t, 1
 		}
-		return t * (1 + noiseStd*rng.NormFloat64())
+		f := 1 + noiseStd*rng.NormFloat64()
+		return t * f, f
 	}
+	noise := func(t float64) float64 { n, _ := noiseF(t); return n }
 	st.SampCPU = noise(st.SampCPU) + barrier
 	st.SampAccel = noise(st.SampAccel)
 	st.Load = noise(st.Load) + barrier
-	st.Trans = noise(st.Trans) + barrier
+	var fTrans, fTrain float64
+	st.Trans, fTrans = noiseF(st.Trans)
+	st.Trans += barrier
 	st.TrainCPU = noise(st.TrainCPU)
-	st.TrainAcc = noise(st.TrainAcc) + barrier
+	st.TrainAcc, fTrain = noiseF(st.TrainAcc)
+	st.TrainAcc += barrier
+	for i := range st.PerAccel {
+		if st.PerAccel[i].Trans > 0 {
+			st.PerAccel[i].Trans = st.PerAccel[i].Trans*fTrans + barrier
+		}
+		if st.PerAccel[i].Train > 0 {
+			st.PerAccel[i].Train = st.PerAccel[i].Train*fTrain + barrier
+		}
+	}
 }
 
 // stageVector flattens StageTimes into the pipeline's stage sequence.
@@ -201,7 +230,7 @@ func stageVector(st perfmodel.StageTimes, tfp bool) []float64 {
 }
 
 func addStages(a, b perfmodel.StageTimes) perfmodel.StageTimes {
-	return perfmodel.StageTimes{
+	out := perfmodel.StageTimes{
 		SampCPU:   a.SampCPU + b.SampCPU,
 		SampAccel: a.SampAccel + b.SampAccel,
 		Load:      a.Load + b.Load,
@@ -210,10 +239,21 @@ func addStages(a, b perfmodel.StageTimes) perfmodel.StageTimes {
 		TrainAcc:  a.TrainAcc + b.TrainAcc,
 		Sync:      a.Sync + b.Sync,
 	}
+	if len(b.PerAccel) > 0 {
+		out.PerAccel = make([]perfmodel.DeviceStage, len(b.PerAccel))
+		for i, d := range b.PerAccel {
+			out.PerAccel[i] = d
+			if i < len(a.PerAccel) {
+				out.PerAccel[i].Trans += a.PerAccel[i].Trans
+				out.PerAccel[i].Train += a.PerAccel[i].Train
+			}
+		}
+	}
+	return out
 }
 
 func scaleStages(a perfmodel.StageTimes, s float64) perfmodel.StageTimes {
-	return perfmodel.StageTimes{
+	out := perfmodel.StageTimes{
 		SampCPU:   a.SampCPU * s,
 		SampAccel: a.SampAccel * s,
 		Load:      a.Load * s,
@@ -222,4 +262,11 @@ func scaleStages(a perfmodel.StageTimes, s float64) perfmodel.StageTimes {
 		TrainAcc:  a.TrainAcc * s,
 		Sync:      a.Sync * s,
 	}
+	if len(a.PerAccel) > 0 {
+		out.PerAccel = make([]perfmodel.DeviceStage, len(a.PerAccel))
+		for i, d := range a.PerAccel {
+			out.PerAccel[i] = perfmodel.DeviceStage{Trans: d.Trans * s, Train: d.Train * s}
+		}
+	}
+	return out
 }
