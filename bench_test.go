@@ -67,6 +67,11 @@ func BenchmarkExtMultiNode(b *testing.B) { benchExperiment(b, "ext-multinode") }
 // budget, with DRM rebalancing the unequal devices.
 func BenchmarkExtHetero(b *testing.B) { benchExperiment(b, "ext-hetero") }
 
+// BenchmarkExtServeHetero runs the kind-aware serving ablation: a routed
+// mixed CPU+GPU+FPGA serving pool against both homogeneous pools at an
+// equal device budget.
+func BenchmarkExtServeHetero(b *testing.B) { benchExperiment(b, "ext-serve-hetero") }
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

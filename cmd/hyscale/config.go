@@ -39,6 +39,8 @@ type options struct {
 	serveBatch    int
 	serveWindowUs float64
 	serveWorkers  int
+	servePeer     bool
+	serveSmall    int
 	serveQueue    int
 	serveCache    int
 	serveZipf     float64
@@ -131,6 +133,12 @@ func buildConfig(o options) (*runSpec, error) {
 		if o.serveWorkers < 1 {
 			return nil, fmt.Errorf("-serve-workers %d: need at least 1", o.serveWorkers)
 		}
+		if o.serveSmall < 0 {
+			return nil, fmt.Errorf("-serve-small %d: negative", o.serveSmall)
+		}
+		if o.serveSmall > 0 && !o.servePeer && len(r.Plat.Accels) > 0 {
+			return nil, fmt.Errorf("-serve-small %d: the small-batch split needs -serve-cpu-peer", o.serveSmall)
+		}
 		if o.serveQueue < 1 {
 			return nil, fmt.Errorf("-serve-queue %d: need at least 1", o.serveQueue)
 		}
@@ -213,6 +221,8 @@ func (r *runSpec) serveConfig(ds *datagen.Dataset, model *gnn.Model) serve.Confi
 		MaxBatch:         r.opts.serveBatch,
 		WindowSec:        r.opts.serveWindowUs * 1e-6,
 		Workers:          r.opts.serveWorkers,
+		CPUPeer:          r.opts.servePeer,
+		SmallBatchCut:    r.opts.serveSmall,
 		QueueCap:         r.opts.serveQueue,
 		CacheSize:        r.opts.serveCache,
 		QuantizeTransfer: r.opts.quantize,

@@ -148,6 +148,8 @@ func TestBuildConfigRejectsBadValues(t *testing.T) {
 		"serve-queue":    {func(o *options) { o.serveMode = true; o.serveQueue = 0 }, "-serve-queue"},
 		"serve-cache":    {func(o *options) { o.serveMode = true; o.serveCache = -1 }, "-serve-cache"},
 		"serve-zipf":     {func(o *options) { o.serveMode = true; o.serveZipf = -0.5 }, "-serve-zipf"},
+		"serve-small":    {func(o *options) { o.serveMode = true; o.serveSmall = -1 }, "-serve-small"},
+		"small-no-peer":  {func(o *options) { o.serveMode = true; o.serveSmall = 4 }, "-serve-cpu-peer"},
 		"multinode-0ep":  {func(o *options) { o.nodes = 2; o.epochs = 0 }, "multi-node"},
 	}
 	for name, tc := range cases {
@@ -177,6 +179,8 @@ func TestBuildConfigServeWithoutTraining(t *testing.T) {
 func TestConfigConstructors(t *testing.T) {
 	o := validOptions()
 	o.serveMode = true
+	o.servePeer = true
+	o.serveSmall = 4
 	r, err := buildConfig(o)
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +196,9 @@ func TestConfigConstructors(t *testing.T) {
 	if sc.MaxBatch != 32 || sc.WindowSec != 500e-6 || sc.CacheSize != 4096 ||
 		sc.RatePerSec != 5000 || sc.QueueCap != 1024 {
 		t.Fatalf("serve config lost flags: %+v", sc)
+	}
+	if !sc.CPUPeer || sc.SmallBatchCut != 4 {
+		t.Fatalf("serve fleet flags lost: %+v", sc)
 	}
 	if sc.ModelVersion != 1+o.epochs {
 		t.Fatalf("model version %d", sc.ModelVersion)

@@ -12,10 +12,15 @@
 //
 // With -serve the trained model is handed to the online-serving subsystem
 // (beyond the paper): a synthetic open-loop Zipf request stream flows
-// through admission control, a dynamic batcher, an LRU embedding cache, and
-// an accelerator worker pool, all charged on the same virtual clock; the
-// run reports p50/p99 latency, throughput, and the analytic serving model's
-// prediction for the same operating point.
+// through kind-aware admission control, a dynamic batcher, an LRU embedding
+// cache, and a fleet of per-device workers (one per accelerator, plus the
+// host CPU peer under -serve-cpu-peer) routed by earliest predicted
+// completion, all charged on the same virtual clock; the run reports
+// p50/p99 latency, throughput, the per-device batch split, and the analytic
+// serving model's prediction for the same operating point. Combined with
+// -accels the serving pool is heterogeneous: "-accels gpu:2,fpga:1 -serve"
+// serves on 2 A5000 workers plus a U250 worker running the §IV-C dataflow
+// kernels, each priced per kind.
 //
 // With -accels the accelerator fleet is overridden by an explicit —
 // possibly heterogeneous — device list (the paper's title configuration):
@@ -70,7 +75,9 @@ func main() {
 	flag.IntVar(&o.serveRequests, "serve-requests", 20000, "serving: requests in the open-loop stream")
 	flag.IntVar(&o.serveBatch, "serve-batch", 32, "serving: dynamic batcher's max batch size")
 	flag.Float64Var(&o.serveWindowUs, "serve-window-us", 500, "serving: dynamic batcher's max-wait deadline (µs)")
-	flag.IntVar(&o.serveWorkers, "serve-workers", 2, "serving: worker-pool size (capped at the platform's accelerators)")
+	flag.IntVar(&o.serveWorkers, "serve-workers", 2, "serving: accelerator workers (capped at the platform's accelerators; each binds one device)")
+	flag.BoolVar(&o.servePeer, "serve-cpu-peer", false, "serving: add a host-CPU worker to the pool (kind-aware routing's landing spot for small batches)")
+	flag.IntVar(&o.serveSmall, "serve-small", 0, "serving: route batches with at most this many cache-missing targets to the CPU peer (0 disables; needs -serve-cpu-peer)")
 	flag.IntVar(&o.serveQueue, "serve-queue", 1024, "serving: admission-control queue capacity")
 	flag.IntVar(&o.serveCache, "serve-cache", 4096, "serving: embedding-cache capacity in entries (0 disables)")
 	flag.Float64Var(&o.serveZipf, "serve-zipf", 1.1, "serving: Zipf exponent of vertex popularity (0 = uniform)")
@@ -173,9 +180,13 @@ func runSingleNode(r *runSpec, coreCfg core.Config, o options) (*gnn.Model, erro
 // runServe drives the open-loop stream against the trained model.
 func runServe(r *runSpec, ds *datagen.Dataset, model *gnn.Model) error {
 	cfg := r.serveConfig(ds, model)
-	fmt.Printf("\nServing %d requests at %.0f req/s (Zipf %.2f, batch ≤%d, window %.0fµs, cache %d, %d workers)\n\n",
+	peer := ""
+	if cfg.CPUPeer {
+		peer = " + CPU peer"
+	}
+	fmt.Printf("\nServing %d requests at %.0f req/s (Zipf %.2f, batch ≤%d, window %.0fµs, cache %d, %d workers%s)\n\n",
 		cfg.NumRequests, cfg.RatePerSec, cfg.ZipfExponent, cfg.MaxBatch,
-		cfg.WindowSec*1e6, cfg.CacheSize, cfg.Workers)
+		cfg.WindowSec*1e6, cfg.CacheSize, cfg.Workers, peer)
 	st, err := serve.Run(cfg)
 	if err != nil {
 		return err

@@ -5,7 +5,10 @@
 // latency/throughput trade-off:
 //
 //   - the batch window trades median latency for batching efficiency;
-//   - the embedding cache trades memory for overload headroom.
+//   - the embedding cache trades memory for overload headroom;
+//   - and how the kind-aware routed fleet (CPU peer + GPU + FPGA, each
+//     worker bound to its device like training's Trainer backends) beats
+//     both homogeneous pools at an equal device budget.
 //
 // Every run also prints the analytic serving model's prediction next to the
 // executed virtual-clock numbers.
@@ -24,6 +27,15 @@ import (
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
+
+// heteroFleet builds a mixed platform or dies.
+func heteroFleet(kinds ...hw.Kind) hw.Platform {
+	p, err := hw.HeteroPlatform(kinds...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
 
 func main() {
 	// 1. A synthetic products-shaped graph, small enough to serve in a demo.
@@ -114,4 +126,58 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(st)
+
+	// 7. Kind-aware heterogeneous serving: at an equal 3-device budget, the
+	//    routed CPU+GPU+FPGA fleet against both homogeneous pools. Each
+	//    worker binds one device; the router sends every closed batch to the
+	//    earliest predicted completion, cache-hot small batches split off to
+	//    the CPU peer, and per-kind admission shares keep a slow kind from
+	//    starving the rest. The FPGA worker executes the §IV-C dataflow
+	//    kernels and charges its measured cycles.
+	fmt.Println("\n--- kind-aware routed fleet (equal 3-device budget, ~overload) ---")
+	mixed := base
+	mixed.Plat = heteroFleet(hw.GPU, hw.FPGA)
+	mixed.Workers = 2
+	mixed.CPUPeer = true
+	mixed.SmallBatchCut = 4
+	mixed.CacheSize = 2048
+	// Anchor on the size-closed capacity (cold cache, full batches).
+	probeCfg := mixed
+	probeCfg.RatePerSec = 1e6
+	probe, err = serve.Predict(probeCfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := 1.2 * probe.CapacityRPS
+	for _, fl := range []struct {
+		name string
+		cfg  serve.Config
+	}{
+		{"3xGPU", func() serve.Config {
+			c := base
+			c.Plat = heteroFleet(hw.GPU, hw.GPU, hw.GPU)
+			c.Workers, c.CacheSize = 3, 2048
+			return c
+		}()},
+		{"3xFPGA", func() serve.Config {
+			c := base
+			c.Plat = heteroFleet(hw.FPGA, hw.FPGA, hw.FPGA)
+			c.Workers, c.CacheSize = 3, 2048
+			return c
+		}()},
+		{"CPU+GPU+FPGA", mixed},
+	} {
+		c := fl.cfg
+		c.RatePerSec = rate
+		st, err := serve.Run(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s mean %7.3fms  p99 %8.3fms  %6.0f req/s  split",
+			fl.name, 1e3*st.MeanSec, 1e3*st.P99Sec, st.ThroughputRPS)
+		for _, d := range st.PerDevice {
+			fmt.Printf("  %s:%d", d.Kind, d.Batches)
+		}
+		fmt.Println()
+	}
 }

@@ -1,0 +1,50 @@
+package accel
+
+import (
+	"math"
+
+	"repro/internal/gnn"
+)
+
+// EstimateForwardSec predicts the wall time Forward would measure for a
+// mini-batch of the given expected layer sizes, without executing anything —
+// the analytic mirror of the kernel simulators' cycle accounting that lets
+// the serving performance model price an FPGA worker the same way the worker
+// charges itself.
+//
+// vl and el follow the perfmodel Sizes convention: vl[l] is the expected
+// node count of layer l (index 0 input-most, length L+1), el[l] the expected
+// edge count aggregated into layer l+1. Per layer the scatter-gather engine
+// fetches each distinct source feature once (sorted-edge reuse, §IV-C) —
+// ~vl[l] fetches of ceil(4·f_l / BytesPerCycle) cycles — and retires edges
+// NumPEs per cycle; the systolic array streams |V_{l+1}|·f_in·f_out MACs at
+// NumMACs per cycle plus its fill cost. Like Forward, the two engines are
+// pipelined, so the estimate is the max of the two cycle totals at the
+// systolic clock.
+func (bk Backend) EstimateForwardSec(cfg gnn.Config, vl, el []float64) float64 {
+	L := cfg.Layers()
+	if len(vl) < L+1 || len(el) < L {
+		return 0
+	}
+	var aggCycles, updCycles float64
+	aggCycles = float64(bk.SG.FetchLatency) // first fetch's latency; the rest overlap
+	for l := 0; l < L; l++ {
+		featBytes := float64(cfg.Dims[l]) * 4
+		fetchCycles := math.Ceil(featBytes / float64(bk.SG.BytesPerCycle))
+		aggCycles += vl[l]*fetchCycles + el[l]/float64(bk.SG.NumPEs)
+
+		fin := float64(cfg.Dims[l])
+		if cfg.Kind == gnn.SAGE {
+			fin *= 2 // concatenation doubles the dense-update input
+		}
+		macs := vl[l+1] * fin * float64(cfg.Dims[l+1])
+		updCycles += macs/float64(bk.Systolic.NumMACs) + float64(bk.Systolic.FillCost)
+	}
+	freq := bk.Systolic.FreqGHz * 1e9
+	agg := aggCycles / freq
+	upd := updCycles / freq
+	if agg > upd {
+		return agg
+	}
+	return upd
+}

@@ -1,0 +1,70 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// actualLayerSizes extracts the exact per-layer node and edge counts of a
+// sampled mini-batch in the estimate's vl/el convention.
+func actualLayerSizes(mb *sampler.MiniBatch) (vl, el []float64) {
+	L := len(mb.Blocks)
+	vl = make([]float64, L+1)
+	el = make([]float64, L)
+	vl[0] = float64(len(mb.Blocks[0].Src))
+	for l := 0; l < L; l++ {
+		vl[l+1] = float64(len(mb.Blocks[l].Dst))
+		el[l] = float64(mb.Blocks[l].NumEdges())
+	}
+	return vl, el
+}
+
+// The analytic mirror must track the measured kernel time closely when fed
+// the batch's exact layer sizes — it is what the serving performance model
+// charges for an FPGA worker, so its error feeds straight into the serving
+// prediction band.
+func TestEstimateForwardTracksMeasured(t *testing.T) {
+	for _, kind := range []gnn.Kind{gnn.GCN, gnn.SAGE} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dims := []int{24, 16, 6}
+			fx := makeBackendFixture(t, dims, 21)
+			m, err := gnn.NewModel(gnn.Config{Kind: kind, Dims: dims}, tensor.NewRNG(22))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bk := U250Backend(dims[0])
+			_, stats, err := bk.Forward(m, fx.mb, fx.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vl, el := actualLayerSizes(fx.mb)
+			est := bk.EstimateForwardSec(gnn.Config{Kind: kind, Dims: dims}, vl, el)
+			if est <= 0 {
+				t.Fatal("estimate is non-positive")
+			}
+			rel := math.Abs(est-stats.Sec) / stats.Sec
+			if rel > 0.30 {
+				t.Fatalf("estimate %.3gs vs measured %.3gs (%.0f%% off)", est, stats.Sec, 100*rel)
+			}
+		})
+	}
+}
+
+// The estimate must grow with the batch and degrade gracefully on malformed
+// size vectors.
+func TestEstimateForwardShape(t *testing.T) {
+	cfg := gnn.Config{Kind: gnn.GCN, Dims: []int{24, 16, 6}}
+	bk := U250Backend(24)
+	small := bk.EstimateForwardSec(cfg, []float64{100, 40, 10}, []float64{300, 80})
+	big := bk.EstimateForwardSec(cfg, []float64{1000, 400, 100}, []float64{3000, 800})
+	if small <= 0 || big <= small {
+		t.Fatalf("estimate not monotone in batch size: %g vs %g", small, big)
+	}
+	if bk.EstimateForwardSec(cfg, []float64{100}, nil) != 0 {
+		t.Fatal("short size vectors must estimate zero, not panic")
+	}
+}

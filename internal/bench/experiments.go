@@ -372,7 +372,11 @@ func All(seed uint64) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em, eh, es}, nil
+	esh, err := ExtServeHetero(seed)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{Table2(), Table3(), t4, f8, f9, f10, t6, t7, f11, eq, ec, em, eh, es, esh}, nil
 }
 
 // ByName returns a single experiment's table by its short identifier.
@@ -406,6 +410,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtHetero(seed)
 	case "ext-serve":
 		return ExtServe(seed)
+	case "ext-serve-hetero":
+		return ExtServeHetero(seed)
 	case "throughput":
 		return Throughput(seed)
 	default:
@@ -418,5 +424,5 @@ func ByName(name string, seed uint64) (*Table, error) {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
 		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
-		"ext-multinode", "ext-hetero", "ext-serve"}
+		"ext-multinode", "ext-hetero", "ext-serve", "ext-serve-hetero"}
 }

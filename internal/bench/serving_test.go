@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // Extension: serving latency must respond monotonically to the batch-window
 // knob, throughput and tail latency to the cache-size knob, and the analytic
@@ -41,6 +44,43 @@ func TestExtServeShape(t *testing.T) {
 			prevHit, prevRPS, prevP99 = hit, rps, p99
 		default:
 			t.Fatalf("unknown sweep %q", sweep)
+		}
+	}
+}
+
+// Extension: at an equal 3-device budget the mixed CPU+GPU+FPGA pool must
+// achieve strictly lower mean latency than both homogeneous pools in every
+// load regime, the analytic per-device prediction must hold the ±35% band on
+// every row, and the mixed pool's routing must be genuinely heterogeneous —
+// every device kind takes batches under overload.
+func TestExtServeHeteroShape(t *testing.T) {
+	tb, err := ExtServeHetero(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 loads x 3 fleets)", len(tb.Rows))
+	}
+	for group := 0; group < 2; group++ {
+		rows := tb.Rows[3*group : 3*group+3]
+		gpuMean, fpgaMean, mixedMean := rows[0][4].Value, rows[1][4].Value, rows[2][4].Value
+		if mixedMean >= gpuMean || mixedMean >= fpgaMean {
+			t.Fatalf("%s: mixed mean %.3fms not strictly below homogeneous %.3f/%.3fms",
+				rows[0][0].render(), mixedMean, gpuMean, fpgaMean)
+		}
+		for i, row := range rows {
+			if errPct := row[10].Value; errPct > 35 {
+				t.Fatalf("%s row %d: analytic service %.0f%% off the executed clock",
+					row[0].render(), i, errPct)
+			}
+		}
+	}
+	// Overload mixed row: the per-kind batch split C/G/F must have every
+	// kind serving.
+	split := tb.Rows[5][11].render()
+	for i, part := range strings.Split(split, "/") {
+		if part == "0" {
+			t.Fatalf("overload mixed split %q: kind %d served nothing", split, i)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/accel"
 	"repro/internal/datagen"
 	"repro/internal/gnn"
 	"repro/internal/hw"
@@ -19,8 +20,13 @@ type InferConfig struct {
 	// workers and read-only during serving.
 	Model   *gnn.Model
 	Fanouts []int
-	// Device selects the propagation device: 0 is the CPU trainer, i > 0 is
-	// Plat.Accels[i-1] (features then cross PCIe, as in training).
+	// Device selects the propagation device: 0 is the host CPU peer, i > 0
+	// is Plat.Accels[i-1] (features then cross that device's own host link,
+	// as in training). The worker is *bound* to this device: FPGA-kind
+	// devices execute the §IV-C dataflow kernels and charge their measured
+	// cycles, framework-driven devices (Device.LoaderGBs) gather features
+	// through their own loader stack, and every device carries its
+	// inference-stack overheads (perfmodel.ServingOverheads).
 	Device int
 	// SampThreads/LoadThreads are the CPU threads charged for sampling and
 	// feature gathering; zero defaults to a quarter of the cores each, the
@@ -40,21 +46,28 @@ type InferResult struct {
 	Targets   []int32
 	Edges     float64 // edges traversed by fanout sampling
 	InputRows int     // feature rows gathered (|V0|)
+	// FPGA carries the dataflow kernels' hardware accounting when the batch
+	// executed on an FPGA-bound worker (nil otherwise).
+	FPGA *accel.ForwardStats
 }
 
 // InferencePipeline is the serving-side counterpart of the training
 // StageExecutor: one worker's sample → gather → transfer → propagate
-// pipeline over the shared runtime layers. Real numeric propagation runs
-// through the same gnn layer kernels as training; virtual time is charged by
-// the same perfmodel primitives and composed by the same max-plus
-// PipelineClock, so serving latency and training throughput are priced on
-// one clock.
+// pipeline over the shared runtime layers, bound to one device the way a
+// training Trainer backend is. Real numeric propagation runs through the
+// same gnn layer kernels as training — or, on an FPGA-bound worker, through
+// the accel dataflow kernels, whose measured cycles are what the clock is
+// charged; virtual time is charged by the same perfmodel primitives and
+// composed by the same max-plus PipelineClock, so serving latency and
+// training throughput are priced on one clock.
 type InferencePipeline struct {
-	cfg   InferConfig
-	pm    *perfmodel.Model
-	smp   *sampler.Sampler
-	clock *PipelineClock
-	rng   *tensor.RNG
+	cfg     InferConfig
+	dev     hw.Device
+	backend *accel.Backend // non-nil iff the bound device is FPGA-kind
+	pm      *perfmodel.Model
+	smp     *sampler.Sampler
+	clock   *PipelineClock
+	rng     *tensor.RNG
 }
 
 // NewInferencePipeline validates the configuration and builds one worker.
@@ -97,21 +110,44 @@ func NewInferencePipeline(cfg InferConfig) (*InferencePipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &InferencePipeline{
+	p := &InferencePipeline{
 		cfg:   cfg,
+		dev:   cfg.Plat.CPU,
 		pm:    pm,
 		smp:   smp,
 		clock: NewPipelineClock(true, false),
 		rng:   tensor.NewRNG(cfg.Seed),
-	}, nil
+	}
+	if cfg.Device > 0 {
+		p.dev = cfg.Plat.Accels[cfg.Device-1]
+		if p.dev.Kind == hw.FPGA {
+			bk := accel.U250Backend(cfg.Model.Cfg.Dims[0])
+			p.backend = &bk
+		}
+	}
+	return p, nil
 }
 
 // Model returns the perfmodel pricing this pipeline's virtual charges.
 func (p *InferencePipeline) Model() *perfmodel.Model { return p.pm }
 
+// Device returns the hardware this worker is bound to.
+func (p *InferencePipeline) Device() hw.Device { return p.dev }
+
+// DeviceIndex returns the binding in InferConfig.Device convention: 0 for
+// the CPU peer, i > 0 for Plat.Accels[i-1].
+func (p *InferencePipeline) DeviceIndex() int { return p.cfg.Device }
+
 // AvailableAt returns the virtual completion time of the worker's last batch
 // (0 when idle since start) — the dispatcher's load signal.
 func (p *InferencePipeline) AvailableAt() float64 { return p.clock.Now() }
+
+// PredictBatchStage prices a batch of `computed` cache-missing targets on
+// this worker's bound device — the stage vector the router turns into a
+// predicted completion time.
+func (p *InferencePipeline) PredictBatchStage(computed int) (perfmodel.StageTimes, error) {
+	return p.pm.ServingBatchStage(p.cfg.Device, computed, p.cfg.SampThreads, p.cfg.LoadThreads)
+}
 
 // RunBatch samples the L-hop fanout of the target vertices, gathers their
 // input features, and propagates only that subgraph, returning the logits
@@ -126,33 +162,53 @@ func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
 	sz := actualSizes(mb)
 	st := perfmodel.StageTimes{
 		SampCPU: p.pm.SampleTimeCPUEdges(float64(mb.EdgesTraversed()), p.cfg.SampThreads),
-		Load:    p.pm.LoadTimeForRows(sz.VL[0], p.cfg.LoadThreads),
+	}
+	res := &InferResult{
+		Targets:   mb.Targets,
+		Edges:     float64(mb.EdgesTraversed()),
+		InputRows: len(mb.InputNodes()),
 	}
 	if p.cfg.Device > 0 {
+		rows := make([]float64, len(p.cfg.Plat.Accels))
+		rows[p.cfg.Device-1] = sz.VL[0]
+		st.Load = p.pm.LoadTimeForDeviceRows(rows, p.cfg.LoadThreads)
 		if p.cfg.QuantizeTransfer {
 			tensor.QuantizeRoundTrip(x) // inject the real int8 loss
 		}
-		st.Trans = p.pm.TransferTimeFor(sz)
-		st.TrainAcc = p.pm.PropWithOverheads(p.cfg.Plat.Accels[p.cfg.Device-1], sz, 1)
+		st.Trans = p.pm.TransferTimeDev(p.cfg.Device-1, sz)
+		if p.backend != nil {
+			// FPGA worker: the forward executes through the scatter-gather +
+			// systolic dataflow and the *measured* kernel time — not the
+			// analytic Eq. 10 — is what the clock is charged (the serving
+			// counterpart of the fpgaTrainer; serving has no backward half).
+			logits, stats, err := p.backend.Forward(p.cfg.Model, mb, x)
+			if err != nil {
+				return nil, fmt.Errorf("core: fpga serving worker: %w", err)
+			}
+			st.TrainAcc = perfmodel.ServingOverheads(p.dev, stats.Sec)
+			res.Logits = logits
+			res.FPGA = stats
+		} else {
+			st.TrainAcc = perfmodel.ServingOverheads(p.dev, p.pm.PropForwardFor(p.dev, sz, 1))
+		}
 	} else {
+		st.Load = p.pm.LoadTimeForRows(sz.VL[0], p.cfg.LoadThreads)
 		cores := p.cfg.Plat.TotalCPUCores()
 		share := float64(cores-p.cfg.SampThreads-p.cfg.LoadThreads) / float64(cores)
 		if share <= 0 {
 			share = 0.5
 		}
-		st.TrainCPU = p.pm.PropWithOverheads(p.cfg.Plat.CPU, sz, share)
+		st.TrainCPU = perfmodel.ServingOverheads(p.dev, p.pm.PropForwardFor(p.dev, sz, share))
 	}
-	logits, err := p.cfg.Model.InferMiniBatch(mb, x)
-	if err != nil {
-		return nil, err
+	if res.Logits == nil {
+		logits, err := p.cfg.Model.InferMiniBatch(mb, x)
+		if err != nil {
+			return nil, err
+		}
+		res.Logits = logits
 	}
-	return &InferResult{
-		Stage:     st,
-		Logits:    logits,
-		Targets:   mb.Targets,
-		Edges:     float64(mb.EdgesTraversed()),
-		InputRows: len(mb.InputNodes()),
-	}, nil
+	res.Stage = st
+	return res, nil
 }
 
 // CompleteAfter pushes a batch's stage times through the worker's pipeline

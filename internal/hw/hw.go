@@ -65,6 +65,14 @@ type Device struct {
 	// autograd bookkeeping, etc.). Zero for the HLS-native FPGA path.
 	FrameworkOverheadMs float64
 
+	// ServeOverheadMs is the per-batch host-side overhead of the *inference*
+	// stack driving this device. It is much smaller than the training
+	// overhead: a serving tier runs a compiled forward graph (TorchScript /
+	// TensorRT class) with no autograd or Python dataloader in the loop, so
+	// only the dispatch layer remains. The serving runtime and the analytic
+	// serving model charge this instead of FrameworkOverheadMs.
+	ServeOverheadMs float64
+
 	// LoaderGBs, when positive, is the fixed bandwidth of the host-framework
 	// feature gather feeding this device (a torch-style collation pinned to
 	// one Python process: thread-independent and serialized across all

@@ -24,7 +24,7 @@ func EPYC7763() Device {
 		Name: "AMD EPYC 7763", Kind: CPU,
 		PeakTFLOPS: 3.6, FreqGHz: 2.45, MemBWGBs: 205, OnChipMB: 256, Cores: 64,
 		MLPEff: 0.70, GatherEff: 0.50, StreamEff: 0.80,
-		Pipelined: false, KernelLaunchUs: 0, FrameworkOverheadMs: 1.2,
+		Pipelined: false, KernelLaunchUs: 0, FrameworkOverheadMs: 1.2, ServeOverheadMs: 0.08,
 	}
 }
 
@@ -36,7 +36,7 @@ func A5000() Device {
 		PeakTFLOPS: 27.8, FreqGHz: 2.0, MemBWGBs: 768, OnChipMB: 6,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		Pipelined: false, KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
-		LoaderGBs: 6,
+		ServeOverheadMs: 0.35, LoaderGBs: 6,
 	}
 }
 
@@ -47,7 +47,7 @@ func U250() Device {
 		Name: "Xilinx Alveo U250", Kind: FPGA,
 		PeakTFLOPS: 0.6, FreqGHz: 0.3, MemBWGBs: 77, OnChipMB: 54,
 		MLPEff: 0.90, GatherEff: 0.70, StreamEff: 0.90,
-		Pipelined: true, KernelLaunchUs: 60, FrameworkOverheadMs: 0.05,
+		Pipelined: true, KernelLaunchUs: 60, FrameworkOverheadMs: 0.05, ServeOverheadMs: 0.02,
 	}
 }
 
@@ -135,7 +135,7 @@ func Xeon8163() Device {
 	return Device{
 		Name: "Xeon Platinum 8163", Kind: CPU,
 		PeakTFLOPS: 1.25, FreqGHz: 2.5, MemBWGBs: 119, OnChipMB: 33, Cores: 24,
-		MLPEff: 0.55, GatherEff: 0.35, StreamEff: 0.80, FrameworkOverheadMs: 2.0,
+		MLPEff: 0.55, GatherEff: 0.35, StreamEff: 0.80, FrameworkOverheadMs: 2.0, ServeOverheadMs: 0.08,
 	}
 }
 
@@ -146,7 +146,7 @@ func V100() Device {
 		PeakTFLOPS: 14.0, FreqGHz: 1.53, MemBWGBs: 900, OnChipMB: 6,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
-		LoaderGBs: 6,
+		ServeOverheadMs: 0.35, LoaderGBs: 6,
 	}
 }
 
@@ -155,7 +155,7 @@ func XeonE52690() Device {
 	return Device{
 		Name: "Xeon E5-2690", Kind: CPU,
 		PeakTFLOPS: 0.37, FreqGHz: 2.9, MemBWGBs: 68, OnChipMB: 35, Cores: 14,
-		MLPEff: 0.55, GatherEff: 0.35, StreamEff: 0.80, FrameworkOverheadMs: 2.0,
+		MLPEff: 0.55, GatherEff: 0.35, StreamEff: 0.80, FrameworkOverheadMs: 2.0, ServeOverheadMs: 0.08,
 	}
 }
 
@@ -166,7 +166,7 @@ func P100() Device {
 		PeakTFLOPS: 9.3, FreqGHz: 1.3, MemBWGBs: 732, OnChipMB: 4,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
-		LoaderGBs: 6,
+		ServeOverheadMs: 0.35, LoaderGBs: 6,
 	}
 }
 
@@ -177,7 +177,7 @@ func T4() Device {
 		PeakTFLOPS: 8.1, FreqGHz: 1.59, MemBWGBs: 320, OnChipMB: 4,
 		MLPEff: 0.30, GatherEff: 0.08, StreamEff: 0.75,
 		KernelLaunchUs: 12, FrameworkOverheadMs: 9.0,
-		LoaderGBs: 6,
+		ServeOverheadMs: 0.35, LoaderGBs: 6,
 	}
 }
 
@@ -186,7 +186,7 @@ func VCPU96() Device {
 	return Device{
 		Name: "96 vCPU", Kind: CPU,
 		PeakTFLOPS: 3.2, FreqGHz: 2.5, MemBWGBs: 180, OnChipMB: 48, Cores: 96,
-		MLPEff: 0.55, GatherEff: 0.35, StreamEff: 0.80, FrameworkOverheadMs: 2.0,
+		MLPEff: 0.55, GatherEff: 0.35, StreamEff: 0.80, FrameworkOverheadMs: 2.0, ServeOverheadMs: 0.08,
 	}
 }
 

@@ -3,6 +3,10 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/accel"
+	"repro/internal/gnn"
+	"repro/internal/hw"
 )
 
 // Serving equations: the paper's per-stage cost model (§V, Eqs. 5–13)
@@ -11,10 +15,22 @@ import (
 // fanout sampling, feature loading, PCIe transfer, propagation — minus the
 // backward pass and gradient sync, so each stage reuses the training
 // primitives over the expected sampled-set sizes of the dynamic batcher's
-// batch. The validated quantities are the per-batch service time and the
-// steady-state capacity (the bench's ext-serve table asserts the executed
-// virtual-clock times land within ±35% of these); the latency percentiles
-// are first-order queueing estimates for sizing, not guarantees.
+// batch. Propagation is priced forward-only (serving has no backward), with
+// the device's *inference-stack* overheads (hw.Device.ServeOverheadMs plus
+// kernel launches and pipeline flush) instead of the training framework
+// cost, and FPGA devices are priced by the analytic mirror of the §IV-C
+// dataflow kernels' cycle accounting — the same accounting the executing
+// FPGA serving worker measures for itself.
+//
+// The model is evaluated per worker *device*: each serving worker binds one
+// device (the host CPU peer, a GPU, or an FPGA), so a pool's prediction is
+// the per-device stage vectors combined — capacity is the sum of per-device
+// capacities and the pool service time is the capacity-weighted mean, which
+// is where batches land under earliest-completion routing. The validated
+// quantities are the per-batch service time and the steady-state capacity
+// (the bench's ext-serve tables assert the executed virtual-clock times land
+// within ±35% of these); the latency percentiles are first-order queueing
+// estimates for sizing, not guarantees.
 
 // ServingLoad describes an open-loop request stream hitting a serving
 // deployment: offered load, the dynamic batcher's knobs, the worker pool,
@@ -30,26 +46,52 @@ type ServingLoad struct {
 	// and cache capacity; it is measured by the serving runtime and fed
 	// back here.
 	ComputeFrac float64
-	// Accel selects accelerator propagation (features cross PCIe, as in
-	// hybrid training); false serves on the CPU trainer.
+	// Devices binds each worker to a device: 0 is the host CPU peer, i > 0
+	// is Plat.Accels[i-1] (the core.InferConfig.Device convention). When
+	// empty, Workers and Accel resolve the pool the legacy way: accelerator
+	// workers round-robin over the fleet, or CPU workers otherwise.
+	Devices []int
+	// Accel selects accelerator workers when Devices is empty (features
+	// cross PCIe, as in hybrid training); false serves on the CPU.
 	Accel bool
 	// SampThreads/LoadThreads are the CPU threads charged for sampling and
 	// gathering; zero defaults to a quarter of the cores each.
 	SampThreads, LoadThreads int
 }
 
+// ServingDevicePrediction is one worker device's share of a pool prediction:
+// its own stage vector and the service/cadence/capacity it sustains.
+type ServingDevicePrediction struct {
+	Device int // 0 = CPU peer, i > 0 = Plat.Accels[i-1]
+	Stage  StageTimes
+	// ServiceSec is one batch's latency through this worker's empty
+	// pipeline: the serial sum of its stages plus the runtime barriers.
+	ServiceSec float64
+	// CycleSec is the worker's steady-state batch cadence: its slowest
+	// pipeline stage (batches overlap stage-wise, Eq. 6 applied to serving).
+	CycleSec float64
+	// CapacityRPS is the worker's saturation throughput BatchSize/CycleSec.
+	CapacityRPS float64
+}
+
 // ServingPrediction is the analytic model's answer for a ServingLoad.
 type ServingPrediction struct {
 	BatchSize float64 // expected requests per closed batch
 	Computed  float64 // expected cache-missing targets per batch
-	Stage     StageTimes
+	// Stage aggregates the pool the way StageTimes does for training: Trans
+	// and TrainAcc are maxima over the worker devices.
+	Stage StageTimes
+	// PerDevice resolves the prediction per worker device — the vectors the
+	// kind-aware router steers by. One entry per pool worker.
+	PerDevice []ServingDevicePrediction
 	// ServiceSec is one batch's latency through an empty pipeline: the
-	// serial sum of its stages plus the runtime's stage barriers.
+	// capacity-weighted mean of the per-device service times (the share of
+	// batches each device absorbs under earliest-completion routing).
 	ServiceSec float64
-	// CycleSec is the steady-state per-worker batch cadence: the slowest
-	// pipeline stage (batches overlap stage-wise, Eq. 6 applied to serving).
+	// CycleSec is the pool's effective per-worker batch cadence:
+	// Workers·BatchSize/CapacityRPS.
 	CycleSec float64
-	// CapacityRPS is the saturation throughput Workers·BatchSize/CycleSec.
+	// CapacityRPS is the saturation throughput: Σ_d BatchSize/CycleSec_d.
 	CapacityRPS float64
 	Utilization float64 // offered load over capacity
 	// ThroughputRPS is the predicted served rate: the offered load, capped
@@ -61,8 +103,121 @@ type ServingPrediction struct {
 	P50Sec, P99Sec float64 // first-order latency estimates
 }
 
+// ServingOverheads applies the per-batch *inference-stack* overheads to a raw
+// forward time t on dev: the compiled serving stack's dispatch cost on every
+// device, plus pipeline flush and kernel launches on accelerators. The
+// serving runtime charges exactly this on its virtual clock, so the analytic
+// model and the executed path price overheads identically (the serving
+// counterpart of DeviceOverheads, which carries the training stack's cost).
+func ServingOverheads(dev hw.Device, t float64) float64 {
+	if dev.Kind == hw.CPU {
+		return t + dev.ServeOverheadMs*1e-3
+	}
+	return t*(1+FlushFraction) + dev.ServeOverheadMs*1e-3 +
+		KernelsPerIteration*dev.KernelLaunchUs*1e-6
+}
+
+// ServingServiceSec is the serial service time of one batch's stage vector:
+// the stage sum plus the runtime's per-stage barriers (sampling, loading,
+// transfer, propagation under TFP). It is the quantity the serving runtime
+// measures per batch and the router adds to a worker's availability.
+func ServingServiceSec(st StageTimes) float64 {
+	return st.SampCPU + st.Load + st.Trans +
+		math.Max(st.TrainCPU, st.TrainAcc) + 4*RuntimeBarrierSec
+}
+
+// servingCycleSec is one worker's steady-state batch cadence: its slowest
+// stage plus one barrier.
+func servingCycleSec(st StageTimes) float64 {
+	prop := math.Max(st.TrainCPU, st.TrainAcc)
+	return math.Max(math.Max(st.SampCPU, st.Load),
+		math.Max(st.Trans, prop)) + RuntimeBarrierSec
+}
+
+// ServingBatchStage prices one closed serving batch of `computed`
+// cache-missing targets on a single bound worker device — the per-device
+// stage vector of the kind-aware router and of PredictServing's pool
+// aggregation. Device 0 is the host CPU peer (propagation on the trainer's
+// core share, no PCIe); device i > 0 is Plat.Accels[i-1], whose features
+// cross its own host link and, for framework-driven devices
+// (Device.LoaderGBs), load through that stack. FPGA devices are priced by
+// the dataflow kernels' analytic cycle mirror; everything else by the
+// forward half of Eq. 10. All propagation carries ServingOverheads.
+func (m *Model) ServingBatchStage(device, computed, sampThreads, loadThreads int) (StageTimes, error) {
+	if device < 0 || device > len(m.Plat.Accels) {
+		return StageTimes{}, fmt.Errorf("perfmodel: serving device %d outside [0,%d]",
+			device, len(m.Plat.Accels))
+	}
+	if computed <= 0 {
+		return StageTimes{}, nil
+	}
+	cores := m.Plat.TotalCPUCores()
+	quarter := cores / 4
+	if sampThreads <= 0 {
+		sampThreads = max(1, quarter)
+	}
+	if loadThreads <= 0 {
+		loadThreads = max(1, quarter)
+	}
+	sz := m.Work.SizesFor(computed)
+	var edges float64
+	for _, e := range sz.EL {
+		edges += e
+	}
+	st := StageTimes{SampCPU: m.SampleTimeCPUEdges(edges, sampThreads)}
+	if device == 0 {
+		st.Load = m.LoadTimeForRows(sz.VL[0], loadThreads)
+		share := float64(cores-sampThreads-loadThreads) / float64(cores)
+		if share <= 0 {
+			share = 0.5
+		}
+		st.TrainCPU = ServingOverheads(m.Plat.CPU, m.PropForwardFor(m.Plat.CPU, sz, share))
+		return st, nil
+	}
+	dev := m.Plat.Accels[device-1]
+	rows := make([]float64, len(m.Plat.Accels))
+	rows[device-1] = sz.VL[0]
+	st.Load = m.LoadTimeForDeviceRows(rows, loadThreads)
+	st.Trans = m.TransferTimeDev(device-1, sz)
+	if dev.Kind == hw.FPGA {
+		// Like every other perfmodel equation, the estimate prices the
+		// workload's Spec.FeatDims (the convention throughout: served model
+		// dims equal the spec's layer dims, enforced for the input layer at
+		// pipeline construction). Spec-derived sizes and dims always agree
+		// in length, so the estimate's short-vector guard cannot trip here.
+		bk := accel.U250Backend(m.Work.Spec.FeatDims[0])
+		fwd := bk.EstimateForwardSec(gnn.Config{Kind: m.Work.Model, Dims: m.Work.Spec.FeatDims},
+			sz.VL, sz.EL)
+		st.TrainAcc = ServingOverheads(dev, fwd)
+	} else {
+		st.TrainAcc = ServingOverheads(dev, m.PropForwardFor(dev, sz, 1))
+	}
+	return st, nil
+}
+
+// servingDevices resolves a load's worker→device bindings.
+func (m *Model) servingDevices(l ServingLoad) ([]int, error) {
+	if len(l.Devices) > 0 {
+		for _, d := range l.Devices {
+			if d < 0 || d > len(m.Plat.Accels) {
+				return nil, fmt.Errorf("perfmodel: serving device %d outside [0,%d]",
+					d, len(m.Plat.Accels))
+			}
+		}
+		return l.Devices, nil
+	}
+	devices := make([]int, l.Workers)
+	if l.Accel {
+		for i := range devices {
+			devices[i] = i%len(m.Plat.Accels) + 1
+		}
+	}
+	return devices, nil
+}
+
 // PredictServing evaluates the serving equations for a load on this
-// platform + workload.
+// platform + workload: per-device stage vectors for every pool worker,
+// combined into pool capacity, service time, and first-order latency.
 func (m *Model) PredictServing(l ServingLoad) (ServingPrediction, error) {
 	if l.RatePerSec <= 0 {
 		return ServingPrediction{}, fmt.Errorf("perfmodel: non-positive request rate %v", l.RatePerSec)
@@ -73,7 +228,7 @@ func (m *Model) PredictServing(l ServingLoad) (ServingPrediction, error) {
 	if l.WindowSec < 0 {
 		return ServingPrediction{}, fmt.Errorf("perfmodel: negative batch window %v", l.WindowSec)
 	}
-	if l.Workers <= 0 {
+	if len(l.Devices) == 0 && l.Workers <= 0 {
 		return ServingPrediction{}, fmt.Errorf("perfmodel: non-positive worker count %d", l.Workers)
 	}
 	if l.ComputeFrac < 0 || l.ComputeFrac > 1 {
@@ -82,13 +237,9 @@ func (m *Model) PredictServing(l ServingLoad) (ServingPrediction, error) {
 	if l.Accel && len(m.Plat.Accels) == 0 {
 		return ServingPrediction{}, fmt.Errorf("perfmodel: accelerator serving on %s, which has none", m.Plat.Name)
 	}
-	cores := m.Plat.TotalCPUCores()
-	quarter := cores / 4
-	if l.SampThreads <= 0 {
-		l.SampThreads = max(1, quarter)
-	}
-	if l.LoadThreads <= 0 {
-		l.LoadThreads = max(1, quarter)
+	devices, err := m.servingDevices(l)
+	if err != nil {
+		return ServingPrediction{}, err
 	}
 
 	var p ServingPrediction
@@ -98,48 +249,40 @@ func (m *Model) PredictServing(l ServingLoad) (ServingPrediction, error) {
 	p.BatchSize = math.Min(float64(l.MaxBatch), 1+l.RatePerSec*l.WindowSec)
 	p.BatchWaitSec = math.Min(l.WindowSec, (float64(l.MaxBatch)-1)/l.RatePerSec) / 2
 	p.Computed = p.BatchSize * l.ComputeFrac
-
+	computed := 0
 	if p.Computed > 0 {
-		// Expected sampled-set sizes for the computed targets, through the
-		// same expectation model as training (duplicate collapse included).
-		sz := m.Work.SizesFor(max(1, int(math.Round(p.Computed))))
-		var edges float64
-		for _, e := range sz.EL {
-			edges += e
-		}
-		p.Stage.SampCPU = m.SampleTimeCPUEdges(edges, l.SampThreads)
-		p.Stage.Load = m.LoadTimeForRows(sz.VL[0], l.LoadThreads)
-		if l.Accel {
-			// Conservative device choice on mixed fleets: a worker may land
-			// on any accelerator, so price the busiest (slowest) one. On a
-			// single-accel or homogeneous fleet this is device 0, as before.
-			busiest := 0
-			worst := -1.0
-			for i := range m.Plat.Accels {
-				t := m.TransferTimeDev(i, sz) + m.PropWithOverheads(m.Plat.Accels[i], sz, 1)
-				if t > worst {
-					worst, busiest = t, i
-				}
-			}
-			p.Stage.Trans = m.TransferTimeDev(busiest, sz)
-			p.Stage.TrainAcc = m.PropWithOverheads(m.Plat.Accels[busiest], sz, 1)
-		} else {
-			share := float64(cores-l.SampThreads-l.LoadThreads) / float64(cores)
-			if share <= 0 {
-				share = 0.5
-			}
-			p.Stage.TrainCPU = m.PropWithOverheads(m.Plat.CPU, sz, share)
-		}
+		computed = max(1, int(math.Round(p.Computed)))
 	}
-	prop := math.Max(p.Stage.TrainCPU, p.Stage.TrainAcc)
-	// The runtime's pipeline clock charges one barrier per stage (sampling,
-	// loading, transfer, propagation under TFP).
-	const barriers = 4 * RuntimeBarrierSec
-	p.ServiceSec = p.Stage.SampCPU + p.Stage.Load + p.Stage.Trans + prop + barriers
-	p.CycleSec = math.Max(math.Max(p.Stage.SampCPU, p.Stage.Load),
-		math.Max(p.Stage.Trans, prop)) + RuntimeBarrierSec
 
-	p.CapacityRPS = float64(l.Workers) * p.BatchSize / p.CycleSec
+	p.PerDevice = make([]ServingDevicePrediction, len(devices))
+	for i, d := range devices {
+		st, err := m.ServingBatchStage(d, computed, l.SampThreads, l.LoadThreads)
+		if err != nil {
+			return ServingPrediction{}, err
+		}
+		dp := ServingDevicePrediction{
+			Device:     d,
+			Stage:      st,
+			ServiceSec: ServingServiceSec(st),
+			CycleSec:   servingCycleSec(st),
+		}
+		dp.CapacityRPS = p.BatchSize / dp.CycleSec
+		p.PerDevice[i] = dp
+
+		// Pool stage aggregate: maxima, the StageTimes convention.
+		p.Stage.SampCPU = math.Max(p.Stage.SampCPU, st.SampCPU)
+		p.Stage.Load = math.Max(p.Stage.Load, st.Load)
+		p.Stage.Trans = math.Max(p.Stage.Trans, st.Trans)
+		p.Stage.TrainCPU = math.Max(p.Stage.TrainCPU, st.TrainCPU)
+		p.Stage.TrainAcc = math.Max(p.Stage.TrainAcc, st.TrainAcc)
+		p.CapacityRPS += dp.CapacityRPS
+	}
+	// Pool service time: capacity-weighted mean of the per-device service
+	// times — the batch mix earliest-completion routing converges to.
+	for _, dp := range p.PerDevice {
+		p.ServiceSec += dp.CapacityRPS / p.CapacityRPS * dp.ServiceSec
+	}
+	p.CycleSec = float64(len(devices)) * p.BatchSize / p.CapacityRPS
 	p.Utilization = l.RatePerSec / p.CapacityRPS
 	p.ThroughputRPS = math.Min(l.RatePerSec, p.CapacityRPS)
 

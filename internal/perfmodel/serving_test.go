@@ -97,6 +97,101 @@ func TestPredictServingMonotonicity(t *testing.T) {
 	}
 }
 
+// Explicit device bindings must reproduce the legacy Workers+Accel mapping
+// exactly on a homogeneous fleet — the analytic half of the routing
+// refactor's regression guard.
+func TestPredictServingDevicesMatchLegacy(t *testing.T) {
+	m := servingModel(t)
+	legacy := ServingLoad{RatePerSec: 2000, MaxBatch: 64, WindowSec: 1e-3,
+		Workers: 2, ComputeFrac: 0.8, Accel: true}
+	bound := legacy
+	bound.Devices = []int{1, 2}
+	a, err := m.PredictServing(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.PredictServing(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ServiceSec != b.ServiceSec || a.CapacityRPS != b.CapacityRPS || a.P99Sec != b.P99Sec {
+		t.Fatalf("explicit bindings diverge from legacy mapping:\n%+v\n%+v", a, b)
+	}
+	if len(a.PerDevice) != 2 || a.PerDevice[0].ServiceSec != a.PerDevice[1].ServiceSec {
+		t.Fatalf("homogeneous per-device vectors differ: %+v", a.PerDevice)
+	}
+}
+
+// A mixed pool's prediction must resolve per device: the CPU peer carries
+// TrainCPU and no transfer, accelerators carry their own links and kinds,
+// pool capacity is the per-device sum, and the pool service time sits
+// between the fastest and slowest member.
+func TestPredictServingMixedPool(t *testing.T) {
+	plat, err := hw.HeteroPlatform(hw.GPU, hw.FPGA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(plat, DefaultWorkload(datagen.OGBNProducts, gnn.SAGE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PredictServing(ServingLoad{RatePerSec: 2000, MaxBatch: 32, WindowSec: 1e-3,
+		ComputeFrac: 1, Devices: []int{1, 2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PerDevice) != 3 {
+		t.Fatalf("expected 3 per-device vectors, got %d", len(p.PerDevice))
+	}
+	gpu, fpga, cpu := p.PerDevice[0], p.PerDevice[1], p.PerDevice[2]
+	if cpu.Stage.TrainCPU <= 0 || cpu.Stage.Trans != 0 || cpu.Stage.TrainAcc != 0 {
+		t.Fatalf("CPU peer stage malformed: %+v", cpu.Stage)
+	}
+	if gpu.Stage.TrainAcc <= 0 || gpu.Stage.Trans <= 0 {
+		t.Fatalf("GPU stage malformed: %+v", gpu.Stage)
+	}
+	if fpga.Stage.TrainAcc <= 0 || fpga.Stage.Trans <= 0 {
+		t.Fatalf("FPGA stage malformed: %+v", fpga.Stage)
+	}
+	// The two accelerators are different hardware behind different links:
+	// their stage vectors must not coincide.
+	if gpu.ServiceSec == fpga.ServiceSec {
+		t.Fatal("GPU and FPGA priced identically — per-device API not per-device")
+	}
+	var capSum float64
+	lo, hi := p.PerDevice[0].ServiceSec, p.PerDevice[0].ServiceSec
+	for _, d := range p.PerDevice {
+		capSum += d.CapacityRPS
+		lo = min(lo, d.ServiceSec)
+		hi = max(hi, d.ServiceSec)
+	}
+	if d := capSum - p.CapacityRPS; d > 1e-9*capSum || d < -1e-9*capSum {
+		t.Fatalf("pool capacity %v != per-device sum %v", p.CapacityRPS, capSum)
+	}
+	if p.ServiceSec < lo || p.ServiceSec > hi {
+		t.Fatalf("pool service %v outside per-device range [%v, %v]", p.ServiceSec, lo, hi)
+	}
+}
+
+// ServingBatchStage input validation and the empty-batch degenerate case.
+func TestServingBatchStageValidation(t *testing.T) {
+	m := servingModel(t)
+	if _, err := m.ServingBatchStage(99, 8, 0, 0); err == nil {
+		t.Fatal("out-of-range device accepted")
+	}
+	if _, err := m.PredictServing(ServingLoad{RatePerSec: 1000, MaxBatch: 8,
+		ComputeFrac: 1, Devices: []int{7}}); err == nil {
+		t.Fatal("out-of-range binding accepted")
+	}
+	st, err := m.ServingBatchStage(1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampCPU != 0 || st.Load != 0 || st.Trans != 0 || st.TrainCPU != 0 || st.TrainAcc != 0 {
+		t.Fatalf("zero-compute batch priced: %+v", st)
+	}
+}
+
 func TestPredictServingOverloadDiverges(t *testing.T) {
 	m := servingModel(t)
 	p, err := m.PredictServing(ServingLoad{RatePerSec: 1e9, MaxBatch: 8, WindowSec: 0,

@@ -16,9 +16,17 @@ type Request struct {
 // online inference servers. A window of 0 closes every batch immediately
 // (no batching delay, batch size 1 unless requests arrive at the same
 // instant).
+//
+// The batcher optionally carries a per-kind split cut for heterogeneous
+// pools: a closed batch whose compute demand is at or under the cut is
+// "small" — typically a cache-hot batch whose misses coalesced to a handful
+// of vertices — and the router prefers to land it on the host CPU peer,
+// which pays no transfer or kernel-launch cost, keeping the accelerators
+// free for the batches that amortize their fixed overheads.
 type DynamicBatcher struct {
 	maxBatch int
 	window   float64
+	smallCut int
 	pending  []Request
 }
 
@@ -31,6 +39,30 @@ func NewDynamicBatcher(maxBatch int, window float64) (*DynamicBatcher, error) {
 		return nil, fmt.Errorf("serve: negative batch window %v", window)
 	}
 	return &DynamicBatcher{maxBatch: maxBatch, window: window}, nil
+}
+
+// NewSplitBatcher builds a batcher whose closed batches are additionally
+// classified by the per-kind split cut: batches with at most smallCut
+// computed targets count as Small. A cut of 0 disables the split.
+func NewSplitBatcher(maxBatch int, window float64, smallCut int) (*DynamicBatcher, error) {
+	if smallCut < 0 {
+		return nil, fmt.Errorf("serve: negative small-batch cut %d", smallCut)
+	}
+	b, err := NewDynamicBatcher(maxBatch, window)
+	if err != nil {
+		return nil, err
+	}
+	b.smallCut = smallCut
+	return b, nil
+}
+
+// SmallCut returns the per-kind split threshold (0 = split disabled).
+func (b *DynamicBatcher) SmallCut() int { return b.smallCut }
+
+// Small reports whether a closed batch with `computed` cache-missing targets
+// falls under the per-kind split cut.
+func (b *DynamicBatcher) Small(computed int) bool {
+	return b.smallCut > 0 && computed <= b.smallCut
 }
 
 // Pending returns the number of requests waiting in the open batch.

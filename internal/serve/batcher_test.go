@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/hw"
 	"repro/internal/tensor"
 )
 
@@ -81,6 +82,102 @@ func TestAdmissionControllerBounds(t *testing.T) {
 	}
 	if !a.Admit(1.5) {
 		t.Fatal("slot not freed by completion at t=1")
+	}
+}
+
+// Out-of-order completion times: Dispatched pushes completions in arbitrary
+// order; Admit must free slots strictly by the virtual clock (the min-heap
+// path), not insertion order.
+func TestAdmissionOutOfOrderCompletions(t *testing.T) {
+	a, err := NewAdmissionController(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !a.Admit(0) {
+			t.Fatal("admission below capacity rejected")
+		}
+	}
+	// Completions pushed out of order: 5, 1, 3.
+	a.Dispatched([]float64{5, 1, 3})
+	if a.Outstanding() != 3 {
+		t.Fatalf("outstanding %d after dispatch, want 3", a.Outstanding())
+	}
+	if a.Admit(0.5) {
+		t.Fatal("admitted with all three still in flight")
+	}
+	if !a.Admit(2) { // t=2: only the completion at t=1 has freed
+		t.Fatal("slot from the earliest completion not freed")
+	}
+	if a.Admit(2.5) {
+		t.Fatal("two slots freed when only one completion passed")
+	}
+	// t=10: everything in flight has completed; only the two waiting remain.
+	if !a.Admit(10) {
+		t.Fatalf("outstanding %d at t=10, expected room", a.Outstanding())
+	}
+}
+
+// Capacity exhaustion and drain-to-zero cycles: fill the queue, drain it
+// completely through dispatch + completion, and refill — the heap must come
+// back to empty each cycle with no leaked slots.
+func TestAdmissionDrainToZeroCycles(t *testing.T) {
+	const capacity = 4
+	a, err := NewAdmissionController(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for cycle := 0; cycle < 3; cycle++ {
+		admitted := 0
+		for a.Admit(now) {
+			admitted++
+		}
+		if admitted != capacity {
+			t.Fatalf("cycle %d: admitted %d, want %d", cycle, admitted, capacity)
+		}
+		// Dispatch all of them, completing in reverse order.
+		completions := make([]float64, capacity)
+		for i := range completions {
+			completions[i] = now + float64(capacity-i)
+		}
+		a.Dispatched(completions)
+		if a.Outstanding() != capacity {
+			t.Fatalf("cycle %d: outstanding %d after dispatch", cycle, a.Outstanding())
+		}
+		// Step past each completion: one slot frees at a time.
+		for k := 1; k <= capacity; k++ {
+			if !a.Admit(now + float64(k) + 0.5) {
+				t.Fatalf("cycle %d: completion %d did not free a slot", cycle, k)
+			}
+			a.Dispatched([]float64{now + float64(k) + 0.6}) // drain immediately
+		}
+		now += float64(capacity) + 10 // everything completes; back to zero
+		if !a.Admit(now) {
+			t.Fatalf("cycle %d: queue did not drain to zero", cycle)
+		}
+		if got := a.Outstanding(); got != 1 { // only the probe admit remains
+			t.Fatalf("cycle %d: outstanding %d after drain, want 1", cycle, got)
+		}
+		a.Dispatched([]float64{now}) // probe completes instantly
+		now++                        // next cycle's Admit pops it
+	}
+}
+
+// Dispatched with more completions than waiting requests (cache hits answer
+// several requests per batch slot) must clamp, not underflow.
+func TestAdmissionDispatchClamp(t *testing.T) {
+	a, err := NewAdmissionController(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Admit(0)
+	a.Dispatched([]float64{1, 2, 3}) // 3 completions, 1 waiting
+	if a.Outstanding() != 3 {
+		t.Fatalf("outstanding %d, want the 3 in-flight", a.Outstanding())
+	}
+	if got := a.KindInflight(hw.CPU); got != 3 {
+		t.Fatalf("legacy Dispatched landed on %d CPU in-flight, want 3", got)
 	}
 }
 

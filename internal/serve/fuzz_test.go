@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// driveBatcher replays a random Add/CloseExpired/Flush schedule against a
+// DynamicBatcher under the package contract (arrivals non-decreasing,
+// CloseExpired drained before every Add) and checks the batching invariants:
+//
+//   - conservation: every added request comes back in exactly one batch,
+//     never dropped, never duplicated;
+//   - the size cap: no batch exceeds maxBatch;
+//   - deadline monotonicity: close times never move backwards;
+//   - close-time sanity: a batch never closes before its first request.
+func driveBatcher(t *testing.T, maxBatch int, window float64, ops []byte) {
+	t.Helper()
+	b, err := NewDynamicBatcher(maxBatch, window)
+	if err != nil {
+		t.Skip("invalid knobs")
+	}
+	seen := make(map[int]int)
+	added := 0
+	now := 0.0
+	lastClose := -1.0
+	pending := 0
+	consume := func(batch []Request, closeAt float64, how string) {
+		if batch == nil {
+			return
+		}
+		if len(batch) == 0 {
+			t.Fatalf("%s: closed an empty batch", how)
+		}
+		if len(batch) > maxBatch {
+			t.Fatalf("%s: batch of %d exceeds cap %d", how, len(batch), maxBatch)
+		}
+		if closeAt < lastClose {
+			t.Fatalf("%s: close time %v before previous %v — deadlines not monotone",
+				how, closeAt, lastClose)
+		}
+		if closeAt < batch[0].Arrival {
+			t.Fatalf("%s: batch closed at %v before its first arrival %v",
+				how, closeAt, batch[0].Arrival)
+		}
+		lastClose = closeAt
+		pending -= len(batch)
+		for _, r := range batch {
+			seen[r.ID]++
+		}
+	}
+	for _, op := range ops {
+		switch op % 3 {
+		case 0, 1: // advance time and add (the contract: drain first)
+			now += float64(op%7) * window / 5
+			for {
+				batch, closeAt := b.CloseExpired(now)
+				if batch == nil {
+					break
+				}
+				consume(batch, closeAt, "expire")
+			}
+			batch, closeAt := b.Add(Request{ID: added, Arrival: now})
+			added++
+			pending++
+			consume(batch, closeAt, "size")
+		case 2: // deadline sweep without adding
+			now += window
+			for {
+				batch, closeAt := b.CloseExpired(now)
+				if batch == nil {
+					break
+				}
+				consume(batch, closeAt, "expire")
+			}
+		}
+		if b.Pending() != pending {
+			t.Fatalf("pending drifted: batcher says %d, ledger says %d", b.Pending(), pending)
+		}
+	}
+	batch, closeAt := b.Flush()
+	consume(batch, closeAt, "flush")
+	if b.Pending() != 0 || pending != 0 {
+		t.Fatalf("flush left %d requests pending", b.Pending())
+	}
+	if len(seen) != added {
+		t.Fatalf("lost requests: added %d, got back %d", added, len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("request %d emitted %d times", id, n)
+		}
+	}
+}
+
+// FuzzDynamicBatcher feeds arbitrary op schedules to driveBatcher. The seed
+// corpus covers the regimes the serving loop exercises: size-closed,
+// deadline-closed, zero-window, and interleaved sweeps.
+func FuzzDynamicBatcher(f *testing.F) {
+	f.Add(uint8(4), float64(1e-3), []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(1), float64(0), []byte{0, 1, 2, 0, 1, 2})
+	f.Add(uint8(32), float64(5e-3), []byte{2, 2, 0, 0, 2, 1, 1, 1, 2})
+	f.Add(uint8(3), float64(1e-6), []byte{1, 0, 2, 1, 0, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, maxBatch uint8, window float64, ops []byte) {
+		if maxBatch == 0 || window < 0 || window > 10 || len(ops) > 4096 {
+			t.Skip()
+		}
+		driveBatcher(t, int(maxBatch), window, ops)
+	})
+}
+
+// TestBatcherInvariantsRandomized runs the same invariant harness over a
+// deterministic spread of knobs and schedules on every plain `go test` (the
+// fuzz engine only replays its corpus there).
+func TestBatcherInvariantsRandomized(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	for trial := 0; trial < 200; trial++ {
+		maxBatch := 1 + rng.Intn(40)
+		window := float64(rng.Intn(4)) * 0.5e-3 // includes zero-window
+		ops := make([]byte, 1+rng.Intn(300))
+		for i := range ops {
+			ops[i] = byte(rng.Intn(256))
+		}
+		driveBatcher(t, maxBatch, window, ops)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/hw"
 	"repro/internal/tensor"
 )
 
@@ -14,10 +15,20 @@ import (
 // arriving while the system holds Capacity outstanding requests is rejected
 // — open-loop overload then surfaces as a rejection rate instead of an
 // unbounded latency tail.
+//
+// In a heterogeneous pool the controller additionally tracks in-flight work
+// *per device kind*: requests dispatched to a slow kind occupy queue
+// capacity until their (late) virtual completions, and without a per-kind
+// bound one slow device kind can fill the whole queue and starve arrivals
+// that faster kinds could have served. SetKindCap bounds each kind's
+// in-flight share; the router consults KindSaturated to steer batches away
+// from a kind that has exhausted its share.
 type AdmissionController struct {
 	capacity int
 	waiting  int
-	inflight completionHeap
+	inflight map[hw.Kind]*completionHeap
+	caps     map[hw.Kind]int
+	kinds    []hw.Kind // deterministic iteration order
 }
 
 // NewAdmissionController builds a controller; capacity must be positive.
@@ -25,16 +36,45 @@ func NewAdmissionController(capacity int) (*AdmissionController, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("serve: non-positive queue capacity %d", capacity)
 	}
-	return &AdmissionController{capacity: capacity}, nil
+	return &AdmissionController{
+		capacity: capacity,
+		inflight: make(map[hw.Kind]*completionHeap),
+		caps:     make(map[hw.Kind]int),
+	}, nil
+}
+
+// SetKindCap bounds one device kind's in-flight requests (0 removes the
+// bound). Kinds without a cap share only the global capacity.
+func (a *AdmissionController) SetKindCap(kind hw.Kind, cap int) {
+	if cap < 0 {
+		cap = 0
+	}
+	a.caps[kind] = cap
+	a.heapFor(kind) // register the kind for deterministic iteration
+}
+
+func (a *AdmissionController) heapFor(kind hw.Kind) *completionHeap {
+	h, ok := a.inflight[kind]
+	if !ok {
+		h = &completionHeap{}
+		a.inflight[kind] = h
+		a.kinds = append(a.kinds, kind)
+	}
+	return h
 }
 
 // Admit reports whether a request arriving at virtual time now fits, and
 // records it as waiting if so.
 func (a *AdmissionController) Admit(now float64) bool {
-	for a.inflight.Len() > 0 && a.inflight[0] <= now {
-		heap.Pop(&a.inflight)
+	total := a.waiting
+	for _, k := range a.kinds {
+		h := a.inflight[k]
+		for h.Len() > 0 && (*h)[0] <= now {
+			heap.Pop(h)
+		}
+		total += h.Len()
 	}
-	if a.waiting+a.inflight.Len() >= a.capacity {
+	if total >= a.capacity {
 		return false
 	}
 	a.waiting++
@@ -42,20 +82,57 @@ func (a *AdmissionController) Admit(now float64) bool {
 }
 
 // Dispatched moves n waiting requests to in-flight with the given virtual
-// completion times (one per request).
+// completion times (one per request), attributed to the host CPU kind —
+// the single-kind legacy entry point; heterogeneous pools use
+// DispatchedKind.
 func (a *AdmissionController) Dispatched(completions []float64) {
+	a.DispatchedKind(hw.CPU, completions)
+}
+
+// DispatchedKind moves n waiting requests to in-flight on the given device
+// kind with their virtual completion times.
+func (a *AdmissionController) DispatchedKind(kind hw.Kind, completions []float64) {
 	a.waiting -= len(completions)
 	if a.waiting < 0 {
 		a.waiting = 0
 	}
+	h := a.heapFor(kind)
 	for _, c := range completions {
-		heap.Push(&a.inflight, c)
+		heap.Push(h, c)
 	}
+}
+
+// KindSaturated reports whether a kind has exhausted its in-flight share as
+// of virtual time now. Kinds without a cap are never saturated.
+func (a *AdmissionController) KindSaturated(kind hw.Kind, now float64) bool {
+	cap := a.caps[kind]
+	if cap <= 0 {
+		return false
+	}
+	h := a.heapFor(kind)
+	for h.Len() > 0 && (*h)[0] <= now {
+		heap.Pop(h)
+	}
+	return h.Len() >= cap
+}
+
+// KindInflight returns a kind's current in-flight count (tests, telemetry).
+func (a *AdmissionController) KindInflight(kind hw.Kind) int {
+	if h, ok := a.inflight[kind]; ok {
+		return h.Len()
+	}
+	return 0
 }
 
 // Outstanding returns the current waiting + in-flight count as of the last
 // Admit call (for tests and telemetry).
-func (a *AdmissionController) Outstanding() int { return a.waiting + a.inflight.Len() }
+func (a *AdmissionController) Outstanding() int {
+	total := a.waiting
+	for _, k := range a.kinds {
+		total += a.inflight[k].Len()
+	}
+	return total
+}
 
 // completionHeap is a min-heap of virtual completion times.
 type completionHeap []float64

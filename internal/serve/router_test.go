@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// heteroPlatform builds a mixed fleet or fails the test.
+func heteroPlatform(t *testing.T, kinds ...hw.Kind) hw.Platform {
+	t.Helper()
+	p, err := hw.HeteroPlatform(kinds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Property: on a pool whose devices all share identical specs, the
+// kind-aware router must be indistinguishable from the pre-refactor policy
+// (dispatch to the least-available worker) — byte-identical latency stats
+// and an identical routing trace. This is the regression guard for the
+// routing refactor: predicted completions on equal devices differ only by a
+// constant, so the argmin must coincide with the legacy argmin on every
+// batch, ties included.
+func TestRoutedMatchesLegacyOnHomogeneousPool(t *testing.T) {
+	ds, m := testSetup(t)
+	for name, plat := range map[string]hw.Platform{
+		"fpga": hw.CPUFPGAPlatform(),
+		"gpu":  heteroPlatform(t, hw.GPU, hw.GPU, hw.GPU),
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(ds, m)
+			cfg.Plat = plat
+			cfg.Workers = 3
+			cfg.CacheSize = 256
+			cfg.RatePerSec = 60000 // hot enough that routing decisions matter
+			routed, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy := cfg
+			legacy.legacyRoute = true
+			ref, err := Run(legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(routed.Routes, ref.Routes) {
+				t.Fatalf("routing trace diverged from the legacy policy:\n%v\n%v",
+					routed.Routes, ref.Routes)
+			}
+			if !reflect.DeepEqual(routed, ref) {
+				t.Fatalf("homogeneous pool stats diverged:\n%+v\n%+v", routed, ref)
+			}
+		})
+	}
+}
+
+// Determinism: two runs with the same seed must route every batch to the
+// same worker and reproduce every statistic exactly, on a mixed pool where
+// the router has real choices to make.
+func TestRoutingDeterministic(t *testing.T) {
+	ds, m := testSetup(t)
+	cfg := baseConfig(ds, m)
+	cfg.Plat = heteroPlatform(t, hw.GPU, hw.FPGA)
+	cfg.Workers = 2
+	cfg.CPUPeer = true
+	cfg.SmallBatchCut = 4
+	cfg.CacheSize = 256
+	cfg.RatePerSec = 120000
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Routes, b.Routes) {
+		t.Fatalf("same seed, different routes:\n%v\n%v", a.Routes, b.Routes)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different stats:\n%v\n%v", a, b)
+	}
+	if len(a.Routes) == 0 {
+		t.Fatal("no computed batches routed")
+	}
+}
+
+// The mixed fleet must actually be heterogeneous under load: every device
+// kind takes computed batches, per-device counters add up, and the
+// small-batch split lands cache-hot small batches on the CPU peer.
+func TestMixedPoolSharesWork(t *testing.T) {
+	ds, m := testSetup(t)
+	cfg := baseConfig(ds, m)
+	cfg.Plat = heteroPlatform(t, hw.GPU, hw.FPGA)
+	cfg.Workers = 2
+	cfg.CPUPeer = true
+	cfg.SmallBatchCut = 4
+	cfg.CacheSize = 256
+	cfg.NumRequests = 3000
+	cfg.RatePerSec = 250000
+	cfg.QueueCap = 256
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerDevice) != 3 {
+		t.Fatalf("expected 3 workers, got %d", len(st.PerDevice))
+	}
+	var batches, requests int
+	for _, d := range st.PerDevice {
+		if d.Batches == 0 {
+			t.Fatalf("%s %s took no batches — fleet not heterogeneous under load\n%v",
+				d.Kind, d.Name, st)
+		}
+		if d.BusySec <= 0 {
+			t.Fatalf("%s busy time missing", d.Name)
+		}
+		batches += d.Batches
+		requests += d.Requests
+	}
+	if batches != len(st.Routes) {
+		t.Fatalf("per-device batches %d != routed batches %d", batches, len(st.Routes))
+	}
+	if requests != st.Computed {
+		t.Fatalf("per-device requests %d != computed %d", requests, st.Computed)
+	}
+}
+
+// The small-batch split: with the cut enabled, every batch whose computed
+// miss count is at or under the cut must land on the CPU peer (unless the
+// CPU kind is saturated). Run with an effectively unbounded queue so
+// saturation never triggers, then check the peer served every small batch.
+func TestSmallBatchesLandOnCPUPeer(t *testing.T) {
+	ds, m := testSetup(t)
+	cfg := baseConfig(ds, m)
+	cfg.Plat = heteroPlatform(t, hw.GPU, hw.FPGA)
+	cfg.Workers = 2
+	cfg.CPUPeer = true
+	cfg.SmallBatchCut = 1000 // every batch is "small"
+	cfg.QueueCap = 1 << 20
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := st.PerDevice[len(st.PerDevice)-1]
+	if peer.Kind != hw.CPU {
+		t.Fatalf("last worker is %v, want the CPU peer", peer.Kind)
+	}
+	if peer.Batches != len(st.Routes) {
+		t.Fatalf("CPU peer served %d of %d batches despite a cut above every batch size",
+			peer.Batches, len(st.Routes))
+	}
+}
+
+// SmallBatchCut without a CPU peer has no landing spot on accelerator
+// platforms and must be rejected.
+func TestSmallCutRequiresPeer(t *testing.T) {
+	ds, m := testSetup(t)
+	cfg := baseConfig(ds, m)
+	cfg.SmallBatchCut = 4
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("SmallBatchCut without CPUPeer accepted")
+	}
+	cfg.CPUPeer = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Kind-aware admission: a saturated kind must not absorb further batches
+// while another kind has room — the slow-FPGA-starves-GPU scenario. Build a
+// controller by hand and drive the saturation check directly.
+func TestKindSaturationSteering(t *testing.T) {
+	a, err := NewAdmissionController(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetKindCap(hw.FPGA, 2)
+	a.SetKindCap(hw.GPU, 2)
+	// Two FPGA batches in flight with far-future completions: saturated.
+	a.Admit(0)
+	a.Admit(0)
+	a.DispatchedKind(hw.FPGA, []float64{100, 200})
+	if !a.KindSaturated(hw.FPGA, 1) {
+		t.Fatal("FPGA not saturated at its cap")
+	}
+	if a.KindSaturated(hw.GPU, 1) {
+		t.Fatal("GPU saturated without in-flight work")
+	}
+	// The GPU keeps serving and draining while the FPGA stays pinned.
+	a.Admit(1)
+	a.DispatchedKind(hw.GPU, []float64{2})
+	if a.KindSaturated(hw.GPU, 3) {
+		t.Fatal("GPU saturation not cleared by completion")
+	}
+	if !a.KindSaturated(hw.FPGA, 3) {
+		t.Fatal("FPGA saturation cleared early")
+	}
+	// Uncapped kinds are never saturated.
+	if a.KindSaturated(hw.CPU, math.Inf(1)) {
+		t.Fatal("uncapped kind reported saturated")
+	}
+}

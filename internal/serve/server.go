@@ -1,8 +1,12 @@
 // Package serve is the online-serving subsystem grown on the shared HyScale
-// runtime: a request queue with admission control, a dynamic batcher
-// (size-or-deadline), an LRU embedding cache keyed by vertex and model
-// version, and a worker pool of core.InferencePipeline instances that answer
-// batches with real sampled-fanout GNN inference while charging sample →
+// runtime: a request queue with kind-aware admission control, a dynamic
+// batcher (size-or-deadline, with an optional per-kind split), an LRU
+// embedding cache keyed by vertex and model version, and a fleet of
+// per-device workers — each core.InferencePipeline bound to one hw.Device
+// (the host CPU peer, a GPU, or an FPGA running the §IV-C dataflow kernels)
+// the way training's Trainer backends are. A router dispatches every closed
+// batch to the worker with the earliest predicted completion, using the
+// per-device perfmodel serving stage vectors, while charging sample →
 // gather → transfer → propagate on the same virtual PipelineClock and
 // perfmodel price list as training. The run is an event-driven open-loop
 // simulation (the BLIS-style shape): arrivals, batch deadlines, and batch
@@ -42,15 +46,81 @@ type Config struct {
 	// Serving knobs.
 	MaxBatch  int     // dynamic batcher's size cap
 	WindowSec float64 // dynamic batcher's max-wait deadline
-	// Workers is the worker-pool size. With accelerators present, worker i
-	// serves on accelerator i (capped at the platform's accelerator count);
-	// without accelerators one CPU worker serves.
-	Workers   int
-	QueueCap  int // admission control: max outstanding requests (0 → 1024)
-	CacheSize int // embedding-cache capacity in entries (0 disables)
+	// Workers is the accelerator worker count. With accelerators present,
+	// worker i binds Plat.Accels[i] (capped at the fleet size); without
+	// accelerators one CPU worker serves.
+	Workers int
+	// CPUPeer adds a host-CPU-bound worker alongside the accelerator
+	// workers — training's hybrid CPU trainer applied to serving. The peer
+	// pays no PCIe transfer or kernel-launch cost, which makes it the
+	// natural landing spot for cache-hot small batches.
+	CPUPeer bool
+	// SmallBatchCut is the dynamic batcher's per-kind split: closed batches
+	// whose cache-missing target count is at or under the cut are routed to
+	// the CPU peer. 0 disables the split; a positive cut requires CPUPeer
+	// on platforms with accelerators.
+	SmallBatchCut int
+	QueueCap      int // admission control: max outstanding requests (0 → 1024)
+	CacheSize     int // embedding-cache capacity in entries (0 disables)
 
 	QuantizeTransfer bool // int8 feature transfer for accelerator workers
 	Seed             uint64
+
+	// legacyRoute switches the router to the pre-refactor policy — dispatch
+	// to the worker with the smallest AvailableAt, ignoring per-device
+	// predictions, kind saturation, and the small-batch split. It exists
+	// only for the regression property test: on a pool of identical devices
+	// the kind-aware router must reproduce this policy's stats byte for
+	// byte.
+	legacyRoute bool
+}
+
+// worker is one pool member: a pipeline bound to a device, plus its share
+// counters and a memo of the device's predicted batch service times (they
+// depend only on the computed-target count, which the size cap bounds).
+type worker struct {
+	pipe  *core.InferencePipeline
+	idx   int // position in the pool
+	stats DeviceStats
+	svc   map[int]float64 // computed targets → predicted ServiceSec
+}
+
+// serviceSec returns the memoized per-device predicted service time for a
+// batch of `computed` cache-missing targets.
+func (w *worker) serviceSec(computed int) (float64, error) {
+	if s, ok := w.svc[computed]; ok {
+		return s, nil
+	}
+	st, err := w.pipe.PredictBatchStage(computed)
+	if err != nil {
+		return 0, err
+	}
+	s := perfmodel.ServingServiceSec(st)
+	w.svc[computed] = s
+	return s, nil
+}
+
+// workerBindings resolves the pool's device bindings in
+// core.InferConfig.Device convention (0 = host CPU, i > 0 = Accels[i-1]):
+// one worker per accelerator (capped by Workers), plus the CPU peer when
+// requested; a single CPU worker on accelerator-less platforms.
+func workerBindings(cfg Config) []int {
+	nAccel := len(cfg.Plat.Accels)
+	if nAccel == 0 {
+		return []int{0}
+	}
+	k := cfg.Workers
+	if k <= 0 || k > nAccel {
+		k = nAccel
+	}
+	b := make([]int, 0, k+1)
+	for i := 0; i < k; i++ {
+		b = append(b, i+1)
+	}
+	if cfg.CPUPeer {
+		b = append(b, 0)
+	}
+	return b
 }
 
 // Run drives the full open-loop stream through the serving stack and
@@ -66,15 +136,13 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 1024
 	}
-	workers := resolveWorkers(cfg)
+	if cfg.SmallBatchCut > 0 && !cfg.CPUPeer && len(cfg.Plat.Accels) > 0 {
+		return nil, fmt.Errorf("serve: SmallBatchCut %d needs the CPU peer (set CPUPeer)", cfg.SmallBatchCut)
+	}
+	bindings := workerBindings(cfg)
 	rng := tensor.NewRNG(cfg.Seed)
-	nAccel := len(cfg.Plat.Accels)
-	pool := make([]*core.InferencePipeline, workers)
-	for i := range pool {
-		device := 0
-		if nAccel > 0 {
-			device = i + 1
-		}
+	pool := make([]*worker, len(bindings))
+	for i, device := range bindings {
 		p, err := core.NewInferencePipeline(core.InferConfig{
 			Plat: cfg.Plat, Data: cfg.Data, Model: cfg.Model,
 			Fanouts: cfg.Fanouts, Device: device,
@@ -84,13 +152,15 @@ func Run(cfg Config) (*Stats, error) {
 		if err != nil {
 			return nil, err
 		}
-		pool[i] = p
+		pool[i] = &worker{pipe: p, idx: i, svc: map[int]float64{}, stats: DeviceStats{
+			Name: p.Device().Name, Kind: p.Device().Kind, Device: device,
+		}}
 	}
 	stream, err := NewRequestStream(cfg.Data.Graph.NumVertices, cfg.RatePerSec, cfg.ZipfExponent, rng.Split())
 	if err != nil {
 		return nil, err
 	}
-	batcher, err := NewDynamicBatcher(cfg.MaxBatch, cfg.WindowSec)
+	batcher, err := NewSplitBatcher(cfg.MaxBatch, cfg.WindowSec, cfg.SmallBatchCut)
 	if err != nil {
 		return nil, err
 	}
@@ -98,12 +168,70 @@ func Run(cfg Config) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	setKindCaps(admission, pool, cfg.QueueCap)
 	cache := NewEmbeddingCache(cfg.CacheSize)
 
 	stats := &Stats{Offered: cfg.NumRequests}
 	var latencies []float64
 	var lastCompletion float64
 	var batchReqSum, computedBatches int
+
+	// route picks the worker for a closed batch of `computed` cache-missing
+	// targets: the earliest predicted completion over the per-device serving
+	// stage vectors, preferring the CPU peer for batches under the
+	// batcher's small cut and steering around kinds that have exhausted
+	// their admission share. Ties break on availability, then pool order,
+	// so routing is deterministic — and on a pool of identical devices it
+	// coincides with the legacy least-available policy.
+	route := func(computed int, closeAt float64) (*worker, error) {
+		if cfg.legacyRoute {
+			w := pool[0]
+			for _, p := range pool[1:] {
+				if p.pipe.AvailableAt() < w.pipe.AvailableAt() {
+					w = p
+				}
+			}
+			return w, nil
+		}
+		if batcher.Small(computed) {
+			for _, w := range pool {
+				if w.pipe.DeviceIndex() == 0 && !admission.KindSaturated(hw.CPU, closeAt) {
+					return w, nil
+				}
+			}
+		}
+		pick := func(skipSaturated bool) (*worker, error) {
+			var best *worker
+			var bestPred, bestAvail float64
+			for _, w := range pool {
+				if skipSaturated && admission.KindSaturated(w.pipe.Device().Kind, closeAt) {
+					continue
+				}
+				svc, err := w.serviceSec(computed)
+				if err != nil {
+					return nil, err
+				}
+				avail := w.pipe.AvailableAt()
+				pred := math.Max(closeAt, avail) + svc
+				if best == nil || pred < bestPred ||
+					(pred == bestPred && avail < bestAvail) {
+					best, bestPred, bestAvail = w, pred, avail
+				}
+			}
+			return best, nil
+		}
+		best, err := pick(true)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil { // every kind saturated: fall back to the whole pool
+			best, err = pick(false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return best, nil
+	}
 
 	dispatch := func(batch []Request, closeAt float64) error {
 		stats.Batches++
@@ -132,33 +260,38 @@ func Run(cfg Config) (*Stats, error) {
 			}
 			waiting[r.Vertex] = append(waiting[r.Vertex], r)
 		}
+		kind := hw.CPU // cache-only batches are answered by the host
 		if len(order) > 0 {
-			w := pool[0]
-			for _, p := range pool[1:] {
-				if p.AvailableAt() < w.AvailableAt() {
-					w = p
-				}
-			}
-			res, err := w.RunBatch(order)
+			w, err := route(len(order), closeAt)
 			if err != nil {
 				return err
 			}
-			done := w.CompleteAfter(closeAt, res.Stage)
+			res, err := w.pipe.RunBatch(order)
+			if err != nil {
+				return err
+			}
+			done := w.pipe.CompleteAfter(closeAt, res.Stage)
+			kind = w.pipe.Device().Kind
+			served := 0
 			for i, v := range order {
 				emb := append([]float32(nil), res.Logits.Row(i)...)
 				cache.Put(CacheKey{Vertex: v, Version: cfg.ModelVersion}, emb, done)
 				for _, r := range waiting[v] {
 					serveReq(r, done)
 					stats.Computed++
+					served++
 				}
 			}
-			st := res.Stage
-			stats.MeanServiceSec += st.SampCPU + st.Load + st.Trans +
-				math.Max(st.TrainCPU, st.TrainAcc) + 4*perfmodel.RuntimeBarrierSec
+			svc := perfmodel.ServingServiceSec(res.Stage)
+			stats.MeanServiceSec += svc
 			computedBatches++
 			stats.EdgesPerSec += res.Edges // normalized by makespan below
+			w.stats.Batches++
+			w.stats.Requests += served
+			w.stats.BusySec += svc
+			stats.Routes = append(stats.Routes, w.idx)
 		}
-		admission.Dispatched(completions)
+		admission.DispatchedKind(kind, completions)
 		return nil
 	}
 
@@ -208,8 +341,11 @@ func Run(cfg Config) (*Stats, error) {
 		stats.ThroughputRPS = float64(stats.Served) / stats.MakespanSec
 		stats.EdgesPerSec /= stats.MakespanSec
 	}
+	for _, w := range pool {
+		stats.PerDevice = append(stats.PerDevice, w.stats)
+	}
 
-	pred, err := pool[0].Model().PredictServing(servingLoad(cfg, workers, 1-stats.HitRate))
+	pred, err := pool[0].pipe.Model().PredictServing(servingLoad(cfg, bindings, 1-stats.HitRate))
 	if err != nil {
 		return nil, err
 	}
@@ -217,28 +353,31 @@ func Run(cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
-// resolveWorkers returns the effective worker-pool size: capped at the
-// platform's accelerator count, or one CPU pipeline when there are none
-// (CPU workers share the socket).
-func resolveWorkers(cfg Config) int {
-	nAccel := len(cfg.Plat.Accels)
-	if nAccel == 0 {
-		return 1
+// setKindCaps bounds each device kind's in-flight admission share on mixed
+// pools: capacity split proportionally to the kind's worker count, so one
+// slow kind's late completions cannot occupy the whole queue and starve the
+// kinds that are keeping up. Single-kind pools keep the plain global bound.
+func setKindCaps(a *AdmissionController, pool []*worker, queueCap int) {
+	counts := map[hw.Kind]int{}
+	for _, w := range pool {
+		counts[w.pipe.Device().Kind]++
 	}
-	workers := cfg.Workers
-	if workers <= 0 || workers > nAccel {
-		workers = nAccel
+	if len(counts) < 2 {
+		return
 	}
-	return workers
+	for kind, n := range counts {
+		a.SetKindCap(kind, max(1, queueCap*n/len(pool)))
+	}
 }
 
 // servingLoad maps a Config onto the analytic model's load description.
-func servingLoad(cfg Config, workers int, computeFrac float64) perfmodel.ServingLoad {
+func servingLoad(cfg Config, bindings []int, computeFrac float64) perfmodel.ServingLoad {
 	return perfmodel.ServingLoad{
 		RatePerSec:  cfg.RatePerSec,
 		MaxBatch:    cfg.MaxBatch,
 		WindowSec:   cfg.WindowSec,
-		Workers:     workers,
+		Workers:     len(bindings),
+		Devices:     bindings,
 		ComputeFrac: computeFrac,
 		Accel:       len(cfg.Plat.Accels) > 0,
 	}
@@ -249,13 +388,14 @@ func servingLoad(cfg Config, workers int, computeFrac float64) perfmodel.Serving
 // cheap way to size a deployment or anchor a load sweep on predicted
 // capacity.
 func Predict(cfg Config, computeFrac float64) (perfmodel.ServingPrediction, error) {
+	bindings := workerBindings(cfg)
 	p, err := core.NewInferencePipeline(core.InferConfig{
 		Plat: cfg.Plat, Data: cfg.Data, Model: cfg.Model,
-		Fanouts: cfg.Fanouts, Device: min(1, len(cfg.Plat.Accels)),
+		Fanouts: cfg.Fanouts, Device: bindings[0],
 		QuantizeTransfer: cfg.QuantizeTransfer,
 	})
 	if err != nil {
 		return perfmodel.ServingPrediction{}, err
 	}
-	return p.Model().PredictServing(servingLoad(cfg, resolveWorkers(cfg), computeFrac))
+	return p.Model().PredictServing(servingLoad(cfg, bindings, computeFrac))
 }
