@@ -72,6 +72,38 @@ func BenchmarkExtHetero(b *testing.B) { benchExperiment(b, "ext-hetero") }
 // equal device budget.
 func BenchmarkExtServeHetero(b *testing.B) { benchExperiment(b, "ext-serve-hetero") }
 
+// BenchmarkKernels runs the numeric-core before/after suite (blocked GEMMs
+// vs the retained reference kernels, parallel vs serial backward scatter,
+// workspace vs allocating step paths) and reports the headline metrics. The
+// same suite serializes to BENCH_kernels.json via
+// `go run ./cmd/experiments -kernels-json BENCH_kernels.json`.
+func BenchmarkKernels(b *testing.B) {
+	b.ReportAllocs()
+	var report *bench.KernelsReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		report, err = bench.Kernels(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, k := range report.Kernels {
+		switch k.Kernel {
+		case "MatMul":
+			if k.Shape == "1024x128·128x128" {
+				b.ReportMetric(k.OptimizedGFLOPS, "matmul-GFLOPS")
+				b.ReportMetric(k.Speedup, "matmul-speedup")
+			}
+		case "AggregateBackward":
+			b.ReportMetric(k.Speedup, "scatter-speedup")
+		case "TrainStep":
+			b.ReportMetric(k.OptimizedAllocs, "trainstep-allocs")
+		case "ServingBatch":
+			b.ReportMetric(k.OptimizedAllocs, "servebatch-allocs")
+		}
+	}
+}
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

@@ -16,22 +16,23 @@ import (
 // and validates them. Keeping the translation free of flag.* makes the
 // dataset/model/platform/mode validation unit-testable.
 type options struct {
-	dataset  string
-	model    string
-	platform string
-	accels   string // heterogeneous fleet spec, e.g. "gpu:2,fpga:1"
-	scale    int64
-	epochs   int
-	batch    int
-	lr       float64
-	seed     uint64
-	hybrid   bool
-	tfp      bool
-	drm      bool
-	quantize bool
-	saint    bool
-	nodes    int
-	trace    string
+	dataset   string
+	model     string
+	platform  string
+	accels    string // heterogeneous fleet spec, e.g. "gpu:2,fpga:1"
+	scale     int64
+	epochs    int
+	batch     int
+	lr        float64
+	seed      uint64
+	hybrid    bool
+	tfp       bool
+	drm       bool
+	tensorPar int
+	quantize  bool
+	saint     bool
+	nodes     int
+	trace     string
 
 	serveMode     bool
 	serveRate     float64
@@ -98,6 +99,9 @@ func buildConfig(o options) (*runSpec, error) {
 	}
 	if o.epochs < 0 {
 		return nil, fmt.Errorf("-epochs %d: negative", o.epochs)
+	}
+	if o.tensorPar < 0 {
+		return nil, fmt.Errorf("-tensor-par %d: negative (0 means one goroutine per CPU)", o.tensorPar)
 	}
 	if o.batch < 1 {
 		return nil, fmt.Errorf("-batch %d: need at least 1", o.batch)

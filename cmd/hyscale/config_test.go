@@ -204,3 +204,22 @@ func TestConfigConstructors(t *testing.T) {
 		t.Fatalf("model version %d", sc.ModelVersion)
 	}
 }
+
+func TestBuildConfigTensorPar(t *testing.T) {
+	o := validOptions()
+	o.tensorPar = -1
+	if _, err := buildConfig(o); err == nil {
+		t.Fatal("expected error for negative -tensor-par")
+	}
+	for _, par := range []int{0, 1, 8} {
+		o := validOptions()
+		o.tensorPar = par
+		r, err := buildConfig(o)
+		if err != nil {
+			t.Fatalf("-tensor-par %d rejected: %v", par, err)
+		}
+		if r.opts.tensorPar != par {
+			t.Fatalf("run spec dropped -tensor-par: got %d want %d", r.opts.tensorPar, par)
+		}
+	}
+}

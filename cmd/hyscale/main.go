@@ -66,6 +66,7 @@ func main() {
 	noHybrid := flag.Bool("no-hybrid", false, "disable hybrid CPU training")
 	noTFP := flag.Bool("no-tfp", false, "disable two-stage feature prefetching")
 	noDRM := flag.Bool("no-drm", false, "disable dynamic resource management")
+	flag.IntVar(&o.tensorPar, "tensor-par", 0, "worker goroutines for the numeric tensor kernels (GEMM, aggregation); 0 = one per CPU")
 	flag.BoolVar(&o.quantize, "quantize", false, "int8-quantize features on the PCIe link (§VIII extension)")
 	flag.BoolVar(&o.saint, "saint", false, "use GraphSAINT random-walk sampling instead of neighbor sampling")
 	flag.IntVar(&o.nodes, "nodes", 1, "execute a multi-node run with this many partitioned shards")
@@ -95,8 +96,11 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Materializing %s (scaled 1/%d: %d vertices, %d edges, f=%v)...\n",
-		o.dataset, o.scale, r.Spec.NumVertices, r.Spec.NumEdges, r.Spec.FeatDims)
+	if o.tensorPar > 0 {
+		tensor.SetParallelism(o.tensorPar)
+	}
+	fmt.Printf("Materializing %s (scaled 1/%d: %d vertices, %d edges, f=%v; tensor kernels on %d goroutines)...\n",
+		o.dataset, o.scale, r.Spec.NumVertices, r.Spec.NumEdges, r.Spec.FeatDims, tensor.Parallelism())
 	ds, err := datagen.Materialize(r.Spec, 0.2, tensor.NewRNG(o.seed))
 	if err != nil {
 		return err

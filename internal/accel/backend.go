@@ -3,8 +3,10 @@ package accel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/gnn"
+	"repro/internal/graph"
 	"repro/internal/sampler"
 	"repro/internal/tensor"
 )
@@ -20,6 +22,36 @@ import (
 type Backend struct {
 	SG       ScatterGatherConfig
 	Systolic SystolicConfig
+
+	// sc holds per-mini-batch scratch (sorted edge list, aggregation
+	// coefficients) reused across Forward calls, so the per-step cost of
+	// preparing the dataflow's source-sorted layout stops allocating once
+	// the buffers have grown to the largest batch. A Backend is therefore
+	// not safe for concurrent Forward calls — each trainer and serving
+	// worker owns its own, as they already do for replicas and clocks.
+	sc backendScratch
+}
+
+type backendScratch struct {
+	wedges []weightedEdge
+	edges  []graph.Edge
+	w      []float32
+	edgeW  []float32
+	selfW  []float32
+}
+
+// weightedEdge pairs an edge with its aggregation coefficient so one stable
+// sort produces both the source-sorted edge list and its aligned weights.
+type weightedEdge struct {
+	src, dst int32
+	w        float32
+}
+
+func f32Buf(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
 }
 
 // U250Backend configures the backend as the paper's published design point:
@@ -56,7 +88,7 @@ func (s *ForwardStats) Add(o ForwardStats) {
 // simulated hardware kernels. x holds gathered input features (|V0| × f0).
 // Aggregation weights are taken from the model (same coefficients as the
 // reference path). Returns the logits and the hardware statistics.
-func (bk Backend) Forward(m *gnn.Model, mb *sampler.MiniBatch, x *tensor.Matrix) (*tensor.Matrix, *ForwardStats, error) {
+func (bk *Backend) Forward(m *gnn.Model, mb *sampler.MiniBatch, x *tensor.Matrix) (*tensor.Matrix, *ForwardStats, error) {
 	L := m.Cfg.Layers()
 	if len(mb.Blocks) != L {
 		return nil, nil, fmt.Errorf("accel: %d blocks for %d layers", len(mb.Blocks), L)
@@ -73,15 +105,12 @@ func (bk Backend) Forward(m *gnn.Model, mb *sampler.MiniBatch, x *tensor.Matrix)
 
 		// Aggregation on the scatter-gather engine: edges sorted by source
 		// so each feature row is fetched once (§IV-C). Self loops are extra
-		// "edges" from the dst-prefix rows.
-		edges := b.SortedEdgesBySource()
-		edgeW, selfW := gnn.EdgeWeights(m.Cfg, b)
-		// Map sorted edge order back to per-edge weights: rebuild the weight
-		// per (dst,src-run) by indexing the block's CSC order.
-		wBySortedEdge, err := sortedEdgeWeights(b, edgeW)
-		if err != nil {
-			return nil, nil, err
-		}
+		// "edges" from the dst-prefix rows. Coefficients resolve into reused
+		// scratch, and one stable sort of weighted edges yields the
+		// source-sorted list with its aligned weights (stability preserves
+		// the block's CSC order between duplicate (src,dst) pairs, matching
+		// the reference path's pairing).
+		edges, wBySortedEdge, selfW := bk.sc.sortedWeightedEdges(m.Cfg, b)
 		agg := tensor.New(nd, fin)
 		sgCfg := bk.SG
 		sgCfg.FeatWidth = fin
@@ -140,28 +169,39 @@ func (bk Backend) Forward(m *gnn.Model, mb *sampler.MiniBatch, x *tensor.Matrix)
 	return h, stats, nil
 }
 
-// sortedEdgeWeights reorders the block's CSC edge weights to match
-// SortedEdgesBySource order. Weight lookup key is (src,dst) with
-// multiplicity handled by consuming matches in order.
-func sortedEdgeWeights(b *sampler.Block, edgeW []float32) ([]float32, error) {
-	type key struct{ src, dst int32 }
-	queue := make(map[key][]float32)
-	for d := 0; d < len(b.Dst); d++ {
+// sortedWeightedEdges resolves the block's aggregation coefficients into the
+// scratch buffers and returns the source-sorted edge list with its aligned
+// per-edge weights plus the per-destination self weights. It replaces the
+// map-based weight re-pairing of earlier revisions (which allocated a queue
+// entry per distinct edge every mini-batch) with one stable sort of
+// (edge, weight) records in the reused buffers.
+func (sc *backendScratch) sortedWeightedEdges(cfg gnn.Config, b *sampler.Block) ([]graph.Edge, []float32, []float32) {
+	ne := b.NumEdges()
+	nd := len(b.Dst)
+	sc.edgeW = f32Buf(sc.edgeW, ne)
+	sc.selfW = f32Buf(sc.selfW, nd)
+	edgeW, selfW := gnn.EdgeWeightsInto(cfg, b, sc.edgeW, sc.selfW)
+	if cap(sc.wedges) < ne {
+		sc.wedges = make([]weightedEdge, ne)
+		sc.edges = make([]graph.Edge, ne)
+	}
+	sc.wedges = sc.wedges[:ne]
+	sc.edges = sc.edges[:ne]
+	sc.w = f32Buf(sc.w, ne)
+	for d := 0; d < nd; d++ {
 		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
-			k := key{b.Col[e], int32(d)}
-			queue[k] = append(queue[k], edgeW[e])
+			sc.wedges[e] = weightedEdge{src: b.Col[e], dst: int32(d), w: edgeW[e]}
 		}
 	}
-	sorted := b.SortedEdgesBySource()
-	out := make([]float32, len(sorted))
-	for i, e := range sorted {
-		k := key{e.Src, e.Dst}
-		ws := queue[k]
-		if len(ws) == 0 {
-			return nil, fmt.Errorf("accel: no weight left for edge (%d,%d)", e.Src, e.Dst)
+	sort.SliceStable(sc.wedges, func(i, j int) bool {
+		if sc.wedges[i].src != sc.wedges[j].src {
+			return sc.wedges[i].src < sc.wedges[j].src
 		}
-		out[i] = ws[0]
-		queue[k] = ws[1:]
+		return sc.wedges[i].dst < sc.wedges[j].dst
+	})
+	for i, we := range sc.wedges {
+		sc.edges[i] = graph.Edge{Src: we.src, Dst: we.dst}
+		sc.w[i] = we.w
 	}
-	return out, nil
+	return sc.edges, sc.w, selfW
 }

@@ -42,8 +42,10 @@ type ScatterGatherResult struct {
 
 // RunScatterGather simulates the aggregation kernel on an edge list over
 // local indices: out[dst] += w[i]·features[src]. Edges should be sorted by
-// source (Block.SortedEdgesBySource) to realise feature reuse; unsorted
-// input is processed correctly but fetches once per source *run*, exactly
+// source (Block.SortedEdgesBySource/...Into, or the weight-aligned
+// backendScratch.sortedWeightedEdges the training loop uses) to realise
+// feature reuse; unsorted input is processed correctly but fetches once per
+// source *run*, exactly
 // like the hardware, demonstrating the O(|E|)→O(|V0|) traffic reduction.
 //
 // The Feature Duplicator broadcasts each fetched feature to all S-PEs;

@@ -412,6 +412,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtServe(seed)
 	case "ext-serve-hetero":
 		return ExtServeHetero(seed)
+	case "ext-kernels":
+		return ExtKernels(seed)
 	case "throughput":
 		return Throughput(seed)
 	default:
@@ -424,5 +426,6 @@ func ByName(name string, seed uint64) (*Table, error) {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
 		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
-		"ext-multinode", "ext-hetero", "ext-serve", "ext-serve-hetero"}
+		"ext-multinode", "ext-hetero", "ext-serve", "ext-serve-hetero",
+		"ext-kernels"}
 }

@@ -1,0 +1,336 @@
+// Kernel before/after benchmarks: the measured perf trajectory of the
+// numeric core. Each row times a hot kernel in its pre-optimization form
+// (the *Ref kernels and the allocating step paths, retained in-tree as
+// oracles) against the shipped form (cache-blocked SIMD GEMMs, the
+// transposed-gather parallel scatter, the zero-allocation workspace paths)
+// at the paper's layer shapes and an ogbn-products-scale mini-batch. The
+// report is written to BENCH_kernels.json so later PRs have a recorded
+// baseline to regress against; the ext-kernels experiment renders the same
+// numbers as a table.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/gnn"
+	"repro/internal/optim"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// KernelMeasurement is one before/after row.
+type KernelMeasurement struct {
+	Kernel       string  `json:"kernel"`
+	Shape        string  `json:"shape"`
+	BaselineSec  float64 `json:"baseline_sec_per_op"`
+	OptimizedSec float64 `json:"optimized_sec_per_op"`
+	Speedup      float64 `json:"speedup"`
+	// GFLOPS / effective GB/s are filled where the kernel has a natural
+	// flop/byte count (GEMMs: 2mkn flops and the operand+result footprint;
+	// the scatter: 2 accesses per scattered element).
+	BaselineGFLOPS  float64 `json:"baseline_gflops,omitempty"`
+	OptimizedGFLOPS float64 `json:"optimized_gflops,omitempty"`
+	BaselineGBs     float64 `json:"baseline_gbs,omitempty"`
+	OptimizedGBs    float64 `json:"optimized_gbs,omitempty"`
+	BaselineAllocs  float64 `json:"baseline_allocs_per_op"`
+	OptimizedAllocs float64 `json:"optimized_allocs_per_op"`
+}
+
+// KernelsReport is the BENCH_kernels.json payload.
+type KernelsReport struct {
+	GOARCH      string              `json:"goarch"`
+	NumCPU      int                 `json:"num_cpu"`
+	Parallelism int                 `json:"tensor_parallelism"`
+	Kernels     []KernelMeasurement `json:"kernels"`
+}
+
+// measure times fn (after one warm-up call) until ~80 ms has elapsed and
+// returns seconds per op and allocations per op.
+func measure(fn func()) (secPerOp, allocsPerOp float64) {
+	fn() // warm up: grow arenas, fault pages
+	const target = 80 * time.Millisecond
+	reps := 0
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < target; elapsed = time.Since(start) {
+		fn()
+		reps++
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return total.Seconds() / float64(reps), float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
+}
+
+// gemmRow measures one GEMM shape through a baseline and an optimized
+// kernel, annotating GFLOP/s and effective GB/s.
+func gemmRow(name, shape string, flops, bytes float64, baseline, optimized func()) KernelMeasurement {
+	bSec, bAllocs := measure(baseline)
+	oSec, oAllocs := measure(optimized)
+	return KernelMeasurement{
+		Kernel: name, Shape: shape,
+		BaselineSec: bSec, OptimizedSec: oSec, Speedup: bSec / oSec,
+		BaselineGFLOPS: flops / bSec / 1e9, OptimizedGFLOPS: flops / oSec / 1e9,
+		BaselineGBs: bytes / bSec / 1e9, OptimizedGBs: bytes / oSec / 1e9,
+		BaselineAllocs: bAllocs, OptimizedAllocs: oAllocs,
+	}
+}
+
+// kernelFixture is the shared ogbn-products-scale mini-batch context: a
+// synthetic power-law graph sampled with the paper's batch size 1024 and
+// fanouts (25, 10).
+type kernelFixture struct {
+	ds *datagen.Dataset
+	mb *sampler.MiniBatch
+	x  *tensor.Matrix
+	m  *gnn.Model
+}
+
+func newKernelFixture(seed uint64) (*kernelFixture, error) {
+	rng := tensor.NewRNG(seed)
+	spec := datagen.Spec{Name: "kernels-bench", NumVertices: 60000, NumEdges: 600000,
+		FeatDims: []int{100, 128, 47}, TrainNodes: 20000}
+	ds, err := datagen.Materialize(spec, 0.4, rng)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sampler.New(ds.Graph, []int{25, 10}, ds.Labels)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := s.Sample(ds.TrainIdx[:1024], rng)
+	if err != nil {
+		return nil, err
+	}
+	x := tensor.New(len(mb.InputNodes()), spec.FeatDims[0])
+	tensor.GatherRows(x, ds.Features, mb.InputNodes())
+	m, err := gnn.NewModel(gnn.Config{Kind: gnn.GCN, Dims: spec.FeatDims}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &kernelFixture{ds: ds, mb: mb, x: x, m: m}, nil
+}
+
+// Kernels runs the full before/after suite.
+func Kernels(seed uint64) (*KernelsReport, error) {
+	rng := tensor.NewRNG(seed)
+	report := &KernelsReport{
+		GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(), Parallelism: tensor.Parallelism(),
+	}
+
+	// --- GEMMs at the paper's layer shapes.
+	gemm := func(name string, m, k, n int, ref, opt func(c, a, b *tensor.Matrix), bT, aT bool) {
+		a := tensor.New(m, k)
+		tensor.NormalInit(a, 1, rng)
+		b := tensor.New(k, n)
+		tensor.NormalInit(b, 1, rng)
+		c := tensor.New(m, n)
+		argA, argB := a, b
+		if bT {
+			argB = tensor.Transpose(b)
+		}
+		if aT {
+			argA = tensor.Transpose(a) // (k×m) with the batch extent k leading; c stays m×n
+		}
+		flops := 2 * float64(m) * float64(k) * float64(n)
+		bytes := 4 * float64(m*k+k*n+m*n)
+		report.Kernels = append(report.Kernels, gemmRow(
+			name, fmt.Sprintf("%dx%d·%dx%d", m, k, k, n), flops, bytes,
+			func() { ref(c, argA, argB) }, func() { opt(c, argA, argB) }))
+	}
+	gemm("MatMul", 1024, 128, 128, tensor.MatMulRef, tensor.MatMul, false, false)
+	gemm("MatMul", 4096, 256, 256, tensor.MatMulRef, tensor.MatMul, false, false)
+	gemm("MatMulT", 4096, 256, 128, tensor.MatMulTRef, tensor.MatMulT, true, false)
+	// TMatMul: (R×m)ᵀ·(R×n) with the batch extent R in front.
+	gemm("TMatMul", 128, 4096, 64, tensor.TMatMulRef, tensor.TMatMul, false, true)
+
+	// --- Backward scatter at ogbn-products mini-batch scale.
+	fx, err := newKernelFixture(seed)
+	if err != nil {
+		return nil, err
+	}
+	blk := fx.mb.Blocks[0] // the fanout-25 layer: the scatter-heavy one
+	nb := gnn.NewNeighborhood(fx.m.Cfg, blk)
+	cols := 128
+	dAgg := tensor.New(len(blk.Dst), cols)
+	tensor.NormalInit(dAgg, 1, rng)
+	dh := tensor.New(len(blk.Src), cols)
+	contributions := float64(blk.NumEdges()+len(blk.Dst)) * float64(cols)
+	scatterBytes := contributions * 4 * 2 // read the gradient row, read+write the source row
+	sSec, sAllocs := measure(func() {
+		dh.Zero()
+		nb.AggregateBackwardSerial(dh, dAgg)
+	})
+	oSec, oAllocs := measure(func() {
+		dh.Zero()
+		nb.AggregateBackward(dh, dAgg)
+	})
+	report.Kernels = append(report.Kernels, KernelMeasurement{
+		Kernel:      "AggregateBackward",
+		Shape:       fmt.Sprintf("|E|=%d |src|=%d f=%d (batch 1024, fanouts 25,10)", blk.NumEdges(), len(blk.Src), cols),
+		BaselineSec: sSec, OptimizedSec: oSec, Speedup: sSec / oSec,
+		BaselineGBs: scatterBytes / sSec / 1e9, OptimizedGBs: scatterBytes / oSec / 1e9,
+		BaselineAllocs: sAllocs, OptimizedAllocs: oAllocs,
+	})
+
+	// --- Steady-state training step: allocating legacy path vs workspace.
+	grads := gnn.NewGradients(fx.m.Params)
+	ws := tensor.NewWorkspace()
+	st := &gnn.ForwardState{}
+	tSec, tAllocs := measure(func() {
+		if _, _, _, err := fx.m.TrainStep(fx.mb, fx.x); err != nil {
+			panic(err)
+		}
+	})
+	wSec, wAllocs := measure(func() {
+		ws.Reset()
+		if _, _, err := fx.m.TrainStepWS(ws, st, fx.mb, fx.x, grads); err != nil {
+			panic(err)
+		}
+	})
+	report.Kernels = append(report.Kernels, KernelMeasurement{
+		Kernel: "TrainStep", Shape: "batch 1024, fanouts 25,10, dims 100-128-47",
+		BaselineSec: tSec, OptimizedSec: wSec, Speedup: tSec / wSec,
+		BaselineAllocs: tAllocs, OptimizedAllocs: wAllocs,
+	})
+
+	// --- Steady-state serving batch (the computed-targets propagation).
+	serveTargets := fx.ds.TrainIdx[:32]
+	smp, err := sampler.New(fx.ds.Graph, []int{25, 10}, nil)
+	if err != nil {
+		return nil, err
+	}
+	smb, err := smp.Sample(serveTargets, rng)
+	if err != nil {
+		return nil, err
+	}
+	sx := tensor.New(len(smb.InputNodes()), fx.ds.Features.Cols)
+	tensor.GatherRows(sx, fx.ds.Features, smb.InputNodes())
+	iSec, iAllocs := measure(func() {
+		if _, err := fx.m.InferMiniBatch(smb, sx); err != nil {
+			panic(err)
+		}
+	})
+	sws := tensor.NewWorkspace()
+	jSec, jAllocs := measure(func() {
+		sws.Reset()
+		if _, err := fx.m.InferMiniBatchWS(sws, smb, sx); err != nil {
+			panic(err)
+		}
+	})
+	report.Kernels = append(report.Kernels, KernelMeasurement{
+		Kernel: "ServingBatch", Shape: "32 targets, fanouts 25,10, dims 100-128-47",
+		BaselineSec: iSec, OptimizedSec: jSec, Speedup: iSec / jSec,
+		BaselineAllocs: iAllocs, OptimizedAllocs: jAllocs,
+	})
+
+	// --- End-to-end epoch, allocation path isolated: both sides run the
+	// shipped kernels (their gain is the rows above); the baseline re-creates
+	// the pre-workspace per-iteration behavior — fresh feature gather, fresh
+	// gradients, allocating TrainStep — while the optimized side is the
+	// trainer backends' scratch discipline.
+	epochRng := tensor.NewRNG(seed + 1)
+	batcher, err := sampler.NewBatcher(fx.ds.TrainIdx, 256, epochRng)
+	if err != nil {
+		return nil, err
+	}
+	esmp, err := sampler.New(fx.ds.Graph, []int{10, 5}, fx.ds.Labels)
+	if err != nil {
+		return nil, err
+	}
+	sgd, err := optim.NewSGD(0.1, 0)
+	if err != nil {
+		return nil, err
+	}
+	iters := 8 // a slice of the epoch large enough to time, small enough for CI
+	legacyEpoch := func() {
+		for it := 0; it < iters; it++ {
+			mb, err := esmp.Sample(batcher.Next(), epochRng)
+			if err != nil {
+				panic(err)
+			}
+			x := tensor.New(len(mb.InputNodes()), fx.ds.Features.Cols)
+			tensor.GatherRows(x, fx.ds.Features, mb.InputNodes())
+			g, _, _, err := fx.m.TrainStep(mb, x)
+			if err != nil {
+				panic(err)
+			}
+			sgd.Step(fx.m.Params, g)
+		}
+	}
+	ews := tensor.NewWorkspace()
+	est := &gnn.ForwardState{}
+	egrads := gnn.NewGradients(fx.m.Params)
+	stageWS := tensor.NewWorkspace()
+	wsEpoch := func() {
+		for it := 0; it < iters; it++ {
+			mb, err := esmp.Sample(batcher.Next(), epochRng)
+			if err != nil {
+				panic(err)
+			}
+			stageWS.Reset()
+			x := stageWS.Get(len(mb.InputNodes()), fx.ds.Features.Cols)
+			tensor.GatherRows(x, fx.ds.Features, mb.InputNodes())
+			ews.Reset()
+			if _, _, err := fx.m.TrainStepWS(ews, est, mb, x, egrads); err != nil {
+				panic(err)
+			}
+			sgd.Step(fx.m.Params, egrads)
+		}
+	}
+	eSec, eAllocs := measure(legacyEpoch)
+	fSec, fAllocs := measure(wsEpoch)
+	report.Kernels = append(report.Kernels, KernelMeasurement{
+		Kernel: "Epoch(alloc path)", Shape: fmt.Sprintf("%d iterations, batch 256, fanouts 10,5", iters),
+		BaselineSec: eSec, OptimizedSec: fSec, Speedup: eSec / fSec,
+		BaselineAllocs: eAllocs, OptimizedAllocs: fAllocs,
+	})
+	return report, nil
+}
+
+// ExtKernels renders the kernel before/after suite as a table.
+func ExtKernels(seed uint64) (*Table, error) {
+	report, err := Kernels(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := KernelsTable(report)
+	return t, nil
+}
+
+// KernelsTable formats a report (exported so the root benchmark and
+// cmd/experiments render the same artifact they serialize).
+func KernelsTable(report *KernelsReport) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: kernel before/after (GOARCH %s, %d CPUs, tensor parallelism %d)",
+			report.GOARCH, report.NumCPU, report.Parallelism),
+		Header: []string{"Kernel", "Shape", "Before s/op", "After s/op", "Speedup",
+			"After GFLOP/s", "After GB/s", "Allocs before", "Allocs after"},
+	}
+	for _, k := range report.Kernels {
+		t.AddRow(Txt(k.Kernel), Txt(k.Shape),
+			Num(k.BaselineSec, "%.3g"), Num(k.OptimizedSec, "%.3g"), Num(k.Speedup, "%.2fx"),
+			Num(k.OptimizedGFLOPS, "%.1f"), Num(k.OptimizedGBs, "%.1f"),
+			Num(k.BaselineAllocs, "%.0f"), Num(k.OptimizedAllocs, "%.0f"))
+	}
+	return t
+}
+
+// WriteKernelsJSON runs the suite and records it at path (the repository
+// convention is BENCH_kernels.json at the root).
+func WriteKernelsJSON(path string, seed uint64) (*KernelsReport, error) {
+	report, err := Kernels(seed)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return report, os.WriteFile(path, append(data, '\n'), 0o644)
+}

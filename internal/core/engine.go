@@ -32,6 +32,11 @@ type Engine struct {
 	exec    StageExecutor
 	gsync   GradientSync
 	locator FeatureLocator
+
+	// stageWS holds one feature-staging arena per trainer slot, created on
+	// first use by the stage executor so steady-state gathers reuse their
+	// buffers instead of allocating per iteration.
+	stageWS []*tensor.Workspace
 }
 
 // NewEngine validates the configuration and builds the runtime: one model

@@ -68,6 +68,11 @@ type InferencePipeline struct {
 	smp     *sampler.Sampler
 	clock   *PipelineClock
 	rng     *tensor.RNG
+	// ws is the worker's numeric arena: the gathered feature block and every
+	// propagation intermediate of a batch borrow from it, and RunBatch resets
+	// it at batch entry — so the steady-state numeric path of a serving
+	// worker allocates nothing once the arena has grown to the largest batch.
+	ws *tensor.Workspace
 }
 
 // NewInferencePipeline validates the configuration and builds one worker.
@@ -117,6 +122,7 @@ func NewInferencePipeline(cfg InferConfig) (*InferencePipeline, error) {
 		smp:   smp,
 		clock: NewPipelineClock(true, false),
 		rng:   tensor.NewRNG(cfg.Seed),
+		ws:    tensor.NewWorkspace(),
 	}
 	if cfg.Device > 0 {
 		p.dev = cfg.Plat.Accels[cfg.Device-1]
@@ -151,13 +157,17 @@ func (p *InferencePipeline) PredictBatchStage(computed int) (perfmodel.StageTime
 
 // RunBatch samples the L-hop fanout of the target vertices, gathers their
 // input features, and propagates only that subgraph, returning the logits
-// and the virtual stage times of the batch.
+// and the virtual stage times of the batch. The returned Logits (and the
+// rest of the result's matrices) borrow the worker's arena: they are valid
+// until this pipeline's next RunBatch, so callers that outlive the batch
+// (the serving cache does) copy the rows they keep.
 func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
+	p.ws.Reset()
 	mb, err := p.smp.Sample(targets, p.rng)
 	if err != nil {
 		return nil, err
 	}
-	x := tensor.New(len(mb.InputNodes()), p.cfg.Data.Features.Cols)
+	x := p.ws.Get(len(mb.InputNodes()), p.cfg.Data.Features.Cols)
 	tensor.GatherRows(x, p.cfg.Data.Features, mb.InputNodes())
 	sz := actualSizes(mb)
 	st := perfmodel.StageTimes{
@@ -201,7 +211,7 @@ func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
 		st.TrainCPU = perfmodel.ServingOverheads(p.dev, p.pm.PropForwardFor(p.dev, sz, share))
 	}
 	if res.Logits == nil {
-		logits, err := p.cfg.Model.InferMiniBatch(mb, x)
+		logits, err := p.cfg.Model.InferMiniBatchWS(p.ws, mb, x)
 		if err != nil {
 			return nil, err
 		}

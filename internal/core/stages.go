@@ -98,11 +98,21 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	if nAcc > 0 {
 		st.PerAccel = make([]perfmodel.DeviceStage, nAcc)
 	}
+	if e.stageWS == nil {
+		e.stageWS = make([]*tensor.Workspace, len(shares))
+		for i := range e.stageWS {
+			e.stageWS[i] = tensor.NewWorkspace()
+		}
+	}
 	for i, mb := range batches {
 		if mb == nil {
 			continue
 		}
-		x := tensor.New(len(mb.InputNodes()), e.cfg.Model.Dims[0])
+		// Per-slot staging arena: the gathered feature block is reused across
+		// iterations (trainer i reads it until its Step returns, within this
+		// iteration — exactly the buffer's lifetime).
+		e.stageWS[i].Reset()
+		x := e.stageWS[i].Get(len(mb.InputNodes()), e.cfg.Model.Dims[0])
 		tensor.GatherRows(x, e.cfg.Data.Features, mb.InputNodes())
 		feats[i] = x
 		if i > 0 { // accelerator share crosses DRAM + its host link

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 func TestTrainOptionsValidate(t *testing.T) {
@@ -71,5 +73,38 @@ func TestTrainEarlyStopping(t *testing.T) {
 	}
 	if len(hist) < 3 { // first epoch + patience misses
 		t.Fatalf("stopped too early: %d epochs", len(hist))
+	}
+}
+
+// TestTrainerScratchMatchesLegacyStep pins the trainer backends' reusable
+// step scratch (workspace + persistent gradients) to the allocating
+// gnn.TrainStep: repeated Steps through one scratch must stay bit-identical
+// to fresh legacy steps on the same inputs.
+func TestTrainerScratchMatchesLegacyStep(t *testing.T) {
+	e, err := NewEngine(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := e.smp.Sample(e.cfg.Data.TrainIdx[:32], e.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(len(mb.InputNodes()), e.cfg.Model.Dims[0])
+	tensor.GatherRows(x, e.cfg.Data.Features, mb.InputNodes())
+	for iter := 0; iter < 3; iter++ { // later iterations run on reused buffers
+		res, err := e.trainers[0].Step(mb, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantGrads, wantLoss, wantAcc, err := e.replicas[0].TrainStep(mb, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Loss != wantLoss || res.Acc != wantAcc {
+			t.Fatalf("iter %d: loss/acc %v/%v, want %v/%v", iter, res.Loss, res.Acc, wantLoss, wantAcc)
+		}
+		if d := res.Grads.MaxAbsDiff(wantGrads); d != 0 {
+			t.Fatalf("iter %d: trainer gradients differ from legacy TrainStep by %g", iter, d)
+		}
 	}
 }

@@ -41,6 +41,32 @@ type StepResult struct {
 	FPGA *accel.ForwardStats
 }
 
+// stepScratch is the per-trainer reusable numeric state: a workspace arena
+// for every forward/backward intermediate, the reusable layer bookkeeping,
+// and persistent gradient buffers. Reset per step, it makes the trainer's
+// steady-state numeric path allocation-free (the arena only grows until the
+// largest mini-batch share has been seen). Each trainer owns its scratch the
+// way it owns its replica — never shared across the fleet.
+type stepScratch struct {
+	ws    *tensor.Workspace
+	st    gnn.ForwardState
+	grads *gnn.Gradients
+}
+
+// step runs one allocation-free training step of m over the scratch. The
+// returned gradients are owned by the scratch and valid until the next step:
+// the coordinator consumes them within the iteration (scale, all-reduce),
+// which is exactly their lifetime.
+func (s *stepScratch) step(m *gnn.Model, mb *sampler.MiniBatch, x *tensor.Matrix) (*gnn.Gradients, float64, float64, error) {
+	if s.ws == nil {
+		s.ws = tensor.NewWorkspace()
+		s.grads = gnn.NewGradients(m.Params)
+	}
+	s.ws.Reset()
+	loss, acc, err := m.TrainStepWS(s.ws, &s.st, mb, x, s.grads)
+	return s.grads, loss, acc, err
+}
+
 // newTrainers builds the fleet's backends: index 0 is the CPU trainer,
 // index i+1 drives cfg.Plat.Accels[i]. FPGA-kind devices get the dataflow
 // backend; every other accelerator kind gets the analytically priced
@@ -64,14 +90,15 @@ func newTrainers(e *Engine) []Trainer {
 // cpuTrainer trains on the host CPU with the thread slice the task mapping
 // grants it; its replica reads features in place.
 type cpuTrainer struct {
-	e *Engine
+	e  *Engine
+	sc stepScratch
 }
 
 func (t *cpuTrainer) Device() hw.Device { return t.e.cfg.Plat.CPU }
 
 func (t *cpuTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error) {
 	e := t.e
-	grads, loss, acc, err := e.replicas[0].TrainStep(mb, x)
+	grads, loss, acc, err := t.sc.step(e.replicas[0], mb, x)
 	if err != nil {
 		return nil, err
 	}
@@ -92,12 +119,13 @@ type accelTrainer struct {
 	e   *Engine
 	idx int
 	dev hw.Device
+	sc  stepScratch
 }
 
 func (t *accelTrainer) Device() hw.Device { return t.dev }
 
 func (t *accelTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error) {
-	grads, loss, acc, err := t.e.replicas[t.idx].TrainStep(mb, x)
+	grads, loss, acc, err := t.sc.step(t.e.replicas[t.idx], mb, x)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +152,7 @@ type fpgaTrainer struct {
 	idx     int
 	dev     hw.Device
 	backend accel.Backend
+	sc      stepScratch
 }
 
 func (t *fpgaTrainer) Device() hw.Device { return t.dev }
@@ -134,7 +163,7 @@ func (t *fpgaTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult
 	if err != nil {
 		return nil, fmt.Errorf("core: fpga trainer %d: %w", t.idx, err)
 	}
-	grads, loss, acc, err := e.replicas[t.idx].TrainStep(mb, x)
+	grads, loss, acc, err := t.sc.step(e.replicas[t.idx], mb, x)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,40 @@
+package gnn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Single-trainer loop (no synchronizer concurrency): parallelism must not
+// change a single bit of the training trajectory.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	run := func(par int) *Parameters {
+		prev := tensor.SetParallelism(par)
+		defer tensor.SetParallelism(prev)
+		dims := []int{8, 16, 5}
+		fx := makeFixture(t, dims, 32, 77)
+		m, err := NewModel(Config{Kind: SAGE, Dims: dims}, tensor.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			g, _, _, err := m.TrainStep(fx.mb, fx.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := range m.Params.Weights {
+				tensor.Axpy(m.Params.Weights[l], -0.1, g.Weights[l])
+				tensor.Axpy(m.Params.Biases[l], -0.1, g.Biases[l])
+			}
+		}
+		return m.Params
+	}
+	p1 := run(1)
+	p4 := run(4)
+	for l := range p1.Weights {
+		if !p1.Weights[l].Equal(p4.Weights[l]) || !p1.Biases[l].Equal(p4.Biases[l]) {
+			t.Fatalf("layer %d: parallelism changed the training trajectory", l)
+		}
+	}
+}

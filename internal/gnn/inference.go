@@ -45,6 +45,15 @@ func (m *Model) InferFullGraph(g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix
 // serving-path counterpart of Forward: same kernels, no state retained for a
 // backward pass. x holds the gathered input features for mb.InputNodes().
 func (m *Model) InferMiniBatch(mb *sampler.MiniBatch, x *tensor.Matrix) (*tensor.Matrix, error) {
+	return m.InferMiniBatchWS(tensor.NewWorkspace(), mb, x)
+}
+
+// InferMiniBatchWS is InferMiniBatch with every intermediate (including the
+// returned logits) borrowed from ws — the zero-allocation serving form. The
+// logits are valid until the owner's next ws.Reset; callers that outlive the
+// batch (the embedding cache does) must copy the rows they keep. The caller
+// resets ws at batch boundaries; this function only borrows.
+func (m *Model) InferMiniBatchWS(ws *tensor.Workspace, mb *sampler.MiniBatch, x *tensor.Matrix) (*tensor.Matrix, error) {
 	L := m.Cfg.Layers()
 	if len(mb.Blocks) != L {
 		return nil, fmt.Errorf("gnn: mini-batch has %d blocks, model has %d layers", len(mb.Blocks), L)
@@ -54,8 +63,10 @@ func (m *Model) InferMiniBatch(mb *sampler.MiniBatch, x *tensor.Matrix) (*tensor
 			x.Rows, x.Cols, len(mb.InputNodes()), m.Cfg.Dims[0])
 	}
 	h := x
+	var nb Neighborhood
 	for l := 0; l < L; l++ {
-		z, _, _, err := m.PropagateLayer(l, NewNeighborhood(m.Cfg, mb.Blocks[l]), h)
+		nb.init(m.Cfg, mb.Blocks[l], ws)
+		z, _, _, err := m.propagateLayer(l, &nb, h, ws)
 		if err != nil {
 			return nil, err
 		}

@@ -24,12 +24,43 @@ type Neighborhood struct {
 	Block *sampler.Block
 	EdgeW []float32 // aggregation coefficient per edge
 	SelfW []float32 // self-loop coefficient per destination (0 for SAGE)
+
+	// ws, when set, backs every scratch slice this neighborhood builds
+	// (the coefficients resolved by init, the backward transpose below), so
+	// re-initialising per iteration — ForwardWS does it per layer — costs no
+	// allocations.
+	ws *tensor.Workspace
+	// Transposed (CSR-over-sources) view of the scatter, built lazily by the
+	// parallel AggregateBackward: contribution t lands on source s for
+	// tPtr[s] ≤ t < tPtr[s+1], reading dAgg row tDst[t] scaled by tW[t].
+	// Contributions are stored in exactly the serial scatter's per-source
+	// order (ascending destination, self before that destination's edges),
+	// which is what makes the parallel gather bit-identical to the serial
+	// scatter — see AggregateBackward.
+	tPtr []int32
+	tDst []int32
+	tW   []float32
 }
 
 // NewNeighborhood resolves cfg's aggregation coefficients for a block.
 func NewNeighborhood(cfg Config, b *sampler.Block) *Neighborhood {
-	edgeW, selfW := EdgeWeights(cfg, b)
-	return &Neighborhood{Block: b, EdgeW: edgeW, SelfW: selfW}
+	nb := &Neighborhood{}
+	nb.init(cfg, b, nil)
+	return nb
+}
+
+// init (re-)binds the neighborhood to a block, resolving coefficients into
+// ws-backed slices when ws is non-nil. Reused by ForwardState across
+// iterations so steady-state training rebuilds neighborhoods without
+// allocating.
+func (nb *Neighborhood) init(cfg Config, b *sampler.Block, ws *tensor.Workspace) {
+	nb.Block, nb.ws = b, ws
+	nb.tPtr, nb.tDst, nb.tW = nil, nil, nil
+	if ws != nil {
+		nb.EdgeW, nb.SelfW = EdgeWeightsInto(cfg, b, ws.F32(b.NumEdges()), ws.F32(len(b.Dst)))
+	} else {
+		nb.EdgeW, nb.SelfW = EdgeWeights(cfg, b)
+	}
 }
 
 // NumDst returns the number of destination vertices.
@@ -39,55 +70,147 @@ func (nb *Neighborhood) NumDst() int { return len(nb.Block.Dst) }
 // out[d] = SelfW[d]·h[d] + Σ_e EdgeW[e]·h[Col[e]]. out is |Dst| × h.Cols.
 // Destinations are independent, so the loop is row-parallel.
 func (nb *Neighborhood) Aggregate(out, h *tensor.Matrix) {
-	b := nb.Block
+	nb.aggregateInto(out, 0, h)
+}
+
+// aggregateInto writes the aggregate into the column band
+// [colOff, colOff+h.Cols) of out — the fused form that lets SAGE aggregate
+// straight into the mean half of its [self ‖ mean] dense input instead of
+// paying a separate ConcatCols pass.
+func (nb *Neighborhood) aggregateInto(out *tensor.Matrix, colOff int, h *tensor.Matrix) {
+	if tensor.Parallelism() <= 1 {
+		aggregateRange(nb.Block, nb.EdgeW, nb.SelfW, out, colOff, h, 0, len(nb.Block.Dst))
+		return
+	}
+	// The closure captures the neighborhood's fields, not the neighborhood
+	// itself, so stack-allocated Neighborhood values (the serving hot path)
+	// never escape.
+	b, edgeW, selfW := nb.Block, nb.EdgeW, nb.SelfW
+	tensor.ParallelRows(len(b.Dst), func(lo, hi int) { aggregateRange(b, edgeW, selfW, out, colOff, h, lo, hi) })
+}
+
+func aggregateRange(b *sampler.Block, edgeW, selfW []float32, out *tensor.Matrix, colOff int, h *tensor.Matrix, lo, hi int) {
 	cols := h.Cols
-	tensor.ParallelRows(len(b.Dst), func(lo, hi int) {
-		for d := lo; d < hi; d++ {
-			orow := out.Row(d)
-			if w := nb.SelfW[d]; w != 0 {
-				hrow := h.Row(d) // Dst is a prefix of Src: local index d is the self row
-				for j := range orow {
-					orow[j] = w * hrow[j]
-				}
-			} else {
-				for j := range orow {
-					orow[j] = 0
-				}
+	for d := lo; d < hi; d++ {
+		orow := out.Row(d)[colOff : colOff+cols]
+		if w := selfW[d]; w != 0 {
+			hrow := h.Row(d) // Dst is a prefix of Src: local index d is the self row
+			for j := range orow {
+				orow[j] = w * hrow[j]
 			}
-			for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
-				w := nb.EdgeW[e]
-				hrow := h.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
-				for j := range orow {
-					orow[j] += w * hrow[j]
-				}
+		} else {
+			for j := range orow {
+				orow[j] = 0
+			}
+		}
+		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+			tensor.AxpyRow(orow, h.Data[int(b.Col[e])*cols:int(b.Col[e])*cols+cols], edgeW[e])
+		}
+	}
+}
+
+// AggregateBackward scatters dAgg back to the sources with the same
+// coefficients (the transpose of Aggregate), adding into dh (zero it first
+// for a pure scatter). Sources are shared between destinations, so the
+// destination-major scatter cannot be row-parallelised directly; instead the
+// parallel path gathers through the transposed (source-major) contribution
+// list, giving every ParallelRows worker an owned range of dh rows and no
+// write races. Because the transpose stores each source's contributions in
+// exactly the serial scatter's order, the result is bit-identical to
+// AggregateBackwardSerial at any worker count — the property the gnn test
+// suite pins with exact equality. (The alternative — destination-range
+// workers with privatized dh partials merged afterwards — cannot be exact:
+// merging partial sums reassociates float32 addition.) With one worker the
+// serial scatter is used directly, skipping the transpose build.
+func (nb *Neighborhood) AggregateBackward(dh, dAgg *tensor.Matrix) {
+	if tensor.Parallelism() <= 1 {
+		nb.AggregateBackwardSerial(dh, dAgg)
+		return
+	}
+	nb.buildTranspose()
+	cols := dh.Cols
+	tPtr, tDst, tW := nb.tPtr, nb.tDst, nb.tW
+	tensor.ParallelRows(len(nb.Block.Src), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			drow := dh.Row(s)
+			for t := tPtr[s]; t < tPtr[s+1]; t++ {
+				grow := dAgg.Data[int(tDst[t])*cols : int(tDst[t])*cols+cols]
+				tensor.AxpyRow(drow, grow, tW[t])
 			}
 		}
 	})
 }
 
-// AggregateBackward scatters dAgg back to the sources with the same
-// coefficients (the transpose of Aggregate). dh must be zeroed by the
-// caller. Sources are shared between destinations, so the scatter stays
-// serial to avoid write races.
-func (nb *Neighborhood) AggregateBackward(dh, dAgg *tensor.Matrix) {
+// AggregateBackwardSerial is the destination-major serial scatter — the
+// pre-parallelisation kernel, retained as the exact-equality oracle and the
+// single-worker fast path (it needs no transpose build).
+func (nb *Neighborhood) AggregateBackwardSerial(dh, dAgg *tensor.Matrix) {
 	b := nb.Block
 	cols := dh.Cols
 	for d := 0; d < len(b.Dst); d++ {
 		grow := dAgg.Row(d)
 		if w := nb.SelfW[d]; w != 0 {
-			drow := dh.Row(d)
-			for j := range grow {
-				drow[j] += w * grow[j]
-			}
+			tensor.AxpyRow(dh.Row(d), grow, w)
 		}
 		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
-			w := nb.EdgeW[e]
 			drow := dh.Data[int(b.Col[e])*cols : int(b.Col[e])*cols+cols]
-			for j := range grow {
-				drow[j] += w * grow[j]
-			}
+			tensor.AxpyRow(drow, grow, nb.EdgeW[e])
 		}
 	}
+}
+
+// buildTranspose materialises the source-major contribution list: a counting
+// sort of (self + edge) contributions by source, filled in destination-major
+// order so each source's run preserves the serial scatter's sequence.
+func (nb *Neighborhood) buildTranspose() {
+	if nb.tPtr != nil {
+		return
+	}
+	b := nb.Block
+	nS := len(b.Src)
+	nD := len(b.Dst)
+	total := b.NumEdges()
+	for d := 0; d < nD; d++ {
+		if nb.SelfW[d] != 0 {
+			total++
+		}
+	}
+	var tPtr, tDst, cur []int32
+	var tW []float32
+	if nb.ws != nil {
+		tPtr, tDst, cur = nb.ws.I32(nS+1), nb.ws.I32(total), nb.ws.I32(nS)
+		tW = nb.ws.F32(total)
+	} else {
+		tPtr, tDst, cur = make([]int32, nS+1), make([]int32, total), make([]int32, nS)
+		tW = make([]float32, total)
+	}
+	for s := range tPtr {
+		tPtr[s] = 0
+	}
+	for d := 0; d < nD; d++ {
+		if nb.SelfW[d] != 0 {
+			tPtr[d+1]++
+		}
+		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+			tPtr[b.Col[e]+1]++
+		}
+	}
+	for s := 0; s < nS; s++ {
+		tPtr[s+1] += tPtr[s]
+		cur[s] = tPtr[s]
+	}
+	for d := 0; d < nD; d++ {
+		if w := nb.SelfW[d]; w != 0 {
+			tDst[cur[d]], tW[cur[d]] = int32(d), w
+			cur[d]++
+		}
+		for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
+			s := b.Col[e]
+			tDst[cur[s]], tW[cur[s]] = int32(d), nb.EdgeW[e]
+			cur[s]++
+		}
+	}
+	nb.tPtr, nb.tDst, nb.tW = tPtr, tDst, tW
 }
 
 // PropagateLayer runs layer l over a neighborhood: aggregation, SAGE's
@@ -95,8 +218,21 @@ func (nb *Neighborhood) AggregateBackward(dh, dAgg *tensor.Matrix) {
 // ReLU. h holds the layer input over the neighborhood's sources. It returns
 // the layer output z (|Dst| × Dims[l+1]), the dense-update input (retained
 // by training for the backward pass), and the ReLU mask (nil for the output
-// layer).
+// layer). Buffers are freshly allocated; the zero-allocation paths use the
+// workspace-backed propagateLayer directly.
 func (m *Model) PropagateLayer(l int, nb *Neighborhood, h *tensor.Matrix) (z, dense, mask *tensor.Matrix, err error) {
+	return m.propagateLayer(l, nb, h, nil)
+}
+
+// propagateLayer is PropagateLayer with buffers borrowed from ws when it is
+// non-nil (contents may be dirty — every kernel below fully overwrites its
+// output; ws is plumbed directly rather than through allocator closures,
+// which the zero-allocation gates would count). The layer makes one pass per
+// memory touch: SAGE aggregates directly into the mean half of the dense
+// input and gathers self features into the other, and bias + ReLU + mask
+// are fused into a single sweep of the dense-update output.
+func (m *Model) propagateLayer(l int, nb *Neighborhood, h *tensor.Matrix,
+	ws *tensor.Workspace) (z, dense, mask *tensor.Matrix, err error) {
 	L := m.Cfg.Layers()
 	if l < 0 || l >= L {
 		return nil, nil, nil, fmt.Errorf("gnn: layer %d outside [0,%d)", l, L)
@@ -109,23 +245,34 @@ func (m *Model) PropagateLayer(l int, nb *Neighborhood, h *tensor.Matrix) (z, de
 		return nil, nil, nil, fmt.Errorf("gnn: layer %d input has %d rows for %d sources",
 			l, h.Rows, len(nb.Block.Src))
 	}
+	get := func(r, c int) *tensor.Matrix {
+		if ws != nil {
+			return ws.Get(r, c)
+		}
+		return tensor.New(r, c)
+	}
 	nd := nb.NumDst()
 	if m.Cfg.Kind == SAGE {
-		mean := tensor.New(nd, fin)
-		nb.Aggregate(mean, h)
-		self := tensor.New(nd, fin)
-		tensor.GatherRows(self, h, selfIdx(nd))
-		dense = tensor.New(nd, 2*fin)
-		tensor.ConcatCols(dense, self, mean)
+		dense = get(nd, 2*fin)
+		var self []int32
+		if ws != nil {
+			self = fillIdentity(ws.I32(nd))
+		} else {
+			self = selfIdx(nd)
+		}
+		tensor.GatherRowsAt(dense, 0, h, self)
+		nb.aggregateInto(dense, fin, h)
 	} else {
-		dense = tensor.New(nd, fin)
+		dense = get(nd, fin)
 		nb.Aggregate(dense, h)
 	}
-	z = tensor.New(nd, m.Cfg.Dims[l+1])
+	z = get(nd, m.Cfg.Dims[l+1])
 	tensor.MatMul(z, dense, m.Params.Weights[l])
-	tensor.AddBias(z, m.Params.Biases[l])
 	if l < L-1 {
-		mask = tensor.ReLU(z)
+		mask = get(nd, m.Cfg.Dims[l+1])
+		tensor.AddBiasReLU(z, m.Params.Biases[l], mask)
+	} else {
+		tensor.AddBias(z, m.Params.Biases[l])
 	}
 	return z, dense, mask, nil
 }

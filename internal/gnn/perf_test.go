@@ -1,0 +1,239 @@
+package gnn
+
+import (
+	"testing"
+
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+var allKinds = []Kind{GCN, SAGE, GIN}
+
+// raggedBlock builds a deliberately irregular block: zero-degree
+// destinations, duplicate (src, dst) edges, self loops, and shared sources —
+// every scatter hazard the parallel backward must survive.
+func raggedBlock(rng *tensor.RNG, nDst, extraSrc, maxDeg int) *sampler.Block {
+	nSrc := nDst + extraSrc
+	src := make([]int32, nSrc)
+	for i := range src {
+		src[i] = int32(i * 7) // global IDs are arbitrary; Dst must prefix Src
+	}
+	b := &sampler.Block{Src: src, Dst: src[:nDst], RowPtr: make([]int32, nDst+1)}
+	for d := 0; d < nDst; d++ {
+		deg := rng.Intn(maxDeg + 1) // 0 hits the zero-degree path
+		for e := 0; e < deg; e++ {
+			s := int32(rng.Intn(nSrc))
+			if e > 0 && rng.Intn(4) == 0 {
+				s = b.Col[len(b.Col)-1] // duplicate edge
+			}
+			if rng.Intn(8) == 0 {
+				s = int32(d) // self loop
+			}
+			b.Col = append(b.Col, s)
+		}
+		b.RowPtr[d+1] = int32(len(b.Col))
+	}
+	return b
+}
+
+// TestAggregateBackwardParallelExactlyMatchesSerial is the correctness gate
+// for the parallel backward scatter: across all model kinds and ragged
+// blocks, the transposed-gather parallel path must equal the serial
+// destination-major scatter bit for bit (not approximately — the transpose
+// preserves each source's accumulation order exactly), at several worker
+// counts, including workers ≫ rows.
+func TestAggregateBackwardParallelExactlyMatchesSerial(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	for _, kind := range allKinds {
+		for trial := 0; trial < 20; trial++ {
+			b := raggedBlock(rng, 1+rng.Intn(30), rng.Intn(40), 6)
+			if err := b.Validate(); err != nil {
+				t.Fatalf("%v trial %d: bad fixture: %v", kind, trial, err)
+			}
+			cfg := Config{Kind: kind, Dims: []int{5, 3}, GINEps: 0.3}
+			nb := NewNeighborhood(cfg, b)
+			cols := 1 + rng.Intn(9) // odd widths exercise the SIMD tails
+			dAgg := tensor.New(len(b.Dst), cols)
+			tensor.NormalInit(dAgg, 1, rng)
+
+			want := tensor.New(len(b.Src), cols)
+			nb.AggregateBackwardSerial(want, dAgg)
+
+			for _, par := range []int{2, 4, 64} {
+				prev := tensor.SetParallelism(par)
+				got := tensor.New(len(b.Src), cols)
+				// Fresh neighborhood per parallelism level so the transpose
+				// build itself is covered each time.
+				NewNeighborhood(cfg, b).AggregateBackward(got, dAgg)
+				tensor.SetParallelism(prev)
+				if !got.Equal(want) {
+					t.Fatalf("%v trial %d par=%d: parallel scatter differs from serial (max diff %g)",
+						kind, trial, par, got.MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}
+
+// TestAggregateBackwardSerialFallback covers the single-worker dispatch in
+// AggregateBackward (no transpose build).
+func TestAggregateBackwardSerialFallback(t *testing.T) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	rng := tensor.NewRNG(5)
+	b := raggedBlock(rng, 12, 9, 4)
+	cfg := Config{Kind: GCN, Dims: []int{4, 2}}
+	nb := NewNeighborhood(cfg, b)
+	dAgg := tensor.New(len(b.Dst), 4)
+	tensor.NormalInit(dAgg, 1, rng)
+	got := tensor.New(len(b.Src), 4)
+	nb.AggregateBackward(got, dAgg)
+	want := tensor.New(len(b.Src), 4)
+	nb.AggregateBackwardSerial(want, dAgg)
+	if !got.Equal(want) {
+		t.Fatal("single-worker AggregateBackward must equal the serial scatter")
+	}
+	if nb.tPtr != nil {
+		t.Fatal("single-worker path should not build the transpose")
+	}
+}
+
+// TestWSPathsMatchLegacy pins the workspace forms to the allocating ones:
+// same mini-batch, same parameters — forward activations, logits, losses,
+// and every gradient must be bit-identical across both code paths and
+// across workspace reuse (two consecutive iterations through one arena).
+func TestWSPathsMatchLegacy(t *testing.T) {
+	for _, kind := range allKinds {
+		dims := []int{6, 8, 5}
+		fx := makeFixture(t, dims, 12, uint64(3+int(kind)))
+		m, err := NewModel(Config{Kind: kind, Dims: dims, GINEps: 0.1}, tensor.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantGrads, wantLoss, wantAcc, err := m.TrainStep(fx.mb, fx.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := tensor.NewWorkspace()
+		st := &ForwardState{}
+		grads := NewGradients(m.Params)
+		for iter := 0; iter < 2; iter++ { // second pass runs entirely on reused buffers
+			ws.Reset()
+			loss, acc, err := m.TrainStepWS(ws, st, fx.mb, fx.x, grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loss != wantLoss || acc != wantAcc {
+				t.Fatalf("%v iter %d: loss/acc %v/%v, want %v/%v", kind, iter, loss, acc, wantLoss, wantAcc)
+			}
+			if d := grads.MaxAbsDiff(wantGrads); d != 0 {
+				t.Fatalf("%v iter %d: WS gradients differ from legacy by %g", kind, iter, d)
+			}
+		}
+
+		// Inference forms agree with the forward pass too.
+		legacy, err := m.InferMiniBatch(fx.mb, fx.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws.Reset()
+		wsLogits, err := m.InferMiniBatchWS(ws, fx.mb, fx.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wsLogits.Equal(legacy) {
+			t.Fatalf("%v: InferMiniBatchWS differs from InferMiniBatch", kind)
+		}
+	}
+}
+
+// TestTrainStepWSZeroAllocs is the training-side allocation gate: once the
+// arena has grown, a steady-state TrainStepWS allocates nothing. Measured at
+// kernel parallelism 1 — AllocsPerRun pins GOMAXPROCS to 1, and goroutine
+// fan-out (not the numeric path) would otherwise be the only allocator.
+func TestTrainStepWSZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation bypasses sync.Pool; allocation counts are nondeterministic")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	for _, kind := range allKinds {
+		dims := []int{6, 8, 5}
+		fx := makeFixture(t, dims, 16, 17)
+		m, err := NewModel(Config{Kind: kind, Dims: dims}, tensor.NewRNG(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := tensor.NewWorkspace()
+		st := &ForwardState{}
+		grads := NewGradients(m.Params)
+		step := func() {
+			ws.Reset()
+			if _, _, err := m.TrainStepWS(ws, st, fx.mb, fx.x, grads); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step() // grow the arena
+		if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+			t.Fatalf("%v: steady-state TrainStepWS allocated %v times per run", kind, allocs)
+		}
+	}
+}
+
+// TestInferMiniBatchWSZeroAllocs is the serving-side allocation gate.
+func TestInferMiniBatchWSZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation bypasses sync.Pool; allocation counts are nondeterministic")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	for _, kind := range allKinds {
+		dims := []int{6, 8, 5}
+		fx := makeFixture(t, dims, 16, 23)
+		m, err := NewModel(Config{Kind: kind, Dims: dims}, tensor.NewRNG(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := tensor.NewWorkspace()
+		batch := func() {
+			ws.Reset()
+			if _, err := m.InferMiniBatchWS(ws, fx.mb, fx.x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch()
+		if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+			t.Fatalf("%v: steady-state InferMiniBatchWS allocated %v times per run", kind, allocs)
+		}
+	}
+}
+
+// TestEdgeWeightsIntoReuse checks the reuse contract: dirty buffers are
+// fully overwritten and the results match the allocating form.
+func TestEdgeWeightsIntoReuse(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	for _, kind := range allKinds {
+		b := raggedBlock(rng, 10, 6, 4)
+		cfg := Config{Kind: kind, Dims: []int{4, 2}, GINEps: 0.2}
+		wantE, wantS := EdgeWeights(cfg, b)
+		edgeW := make([]float32, b.NumEdges())
+		selfW := make([]float32, len(b.Dst))
+		for i := range edgeW {
+			edgeW[i] = 99
+		}
+		for i := range selfW {
+			selfW[i] = 99
+		}
+		gotE, gotS := EdgeWeightsInto(cfg, b, edgeW, selfW)
+		for i := range wantE {
+			if gotE[i] != wantE[i] {
+				t.Fatalf("%v: edge weight %d differs", kind, i)
+			}
+		}
+		for i := range wantS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("%v: self weight %d differs", kind, i)
+			}
+		}
+	}
+}

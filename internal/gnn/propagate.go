@@ -9,11 +9,16 @@ import (
 )
 
 // ForwardState retains per-layer activations needed by the backward pass.
+// A state is reusable: passing the same state to ForwardWS across iterations
+// reuses its layer slices and neighborhood structs, so steady-state training
+// holds it (together with a Workspace) to run allocation-free.
 type ForwardState struct {
 	mb     *sampler.MiniBatch
 	inputs []*tensor.Matrix // H over Blocks[l].Src, layer input
 	aggs   []*tensor.Matrix // aggregated (GCN) / concatenated (SAGE) input to the dense update
 	masks  []*tensor.Matrix // ReLU masks (nil for the output layer)
+	nbs    []Neighborhood   // per-layer message structure, reused across iterations
+	view   tensor.Matrix    // scratch header for the SAGE dh-prefix view
 	Logits *tensor.Matrix   // |targets| × fL
 }
 
@@ -22,22 +27,31 @@ type ForwardState struct {
 // execution backends (the accelerator kernel simulator) use the exact same
 // coefficients as the reference path.
 func EdgeWeights(cfg Config, b *sampler.Block) (edgeW []float32, selfW []float32) {
-	m := &Model{Cfg: cfg}
+	return EdgeWeightsInto(cfg, b, make([]float32, b.NumEdges()), make([]float32, len(b.Dst)))
+}
+
+// EdgeWeightsInto is EdgeWeights into caller-provided buffers (reused across
+// mini-batches by the training loop and the accelerator backend): edgeW must
+// have length NumEdges(), selfW length |Dst|. Every element is overwritten.
+// Returns the filled slices.
+func EdgeWeightsInto(cfg Config, b *sampler.Block, edgeW, selfW []float32) ([]float32, []float32) {
+	if len(edgeW) != b.NumEdges() || len(selfW) != len(b.Dst) {
+		panic(fmt.Sprintf("gnn: EdgeWeightsInto buffers %d/%d for %d edges, %d destinations",
+			len(edgeW), len(selfW), b.NumEdges(), len(b.Dst)))
+	}
 	nd := len(b.Dst)
-	edgeW = make([]float32, b.NumEdges())
-	selfW = make([]float32, nd)
-	switch m.Cfg.Kind {
+	switch cfg.Kind {
 	case GCN:
-		if m.Cfg.Degrees != nil {
+		if cfg.Degrees != nil {
 			// Paper Eq. 3: 1/√(D(v)·D(u)), smoothed with +1 self loops.
 			norm := func(v int32) float32 {
-				return float32(1 / math.Sqrt(float64(m.Cfg.Degrees[v])+1))
+				return float32(1 / math.Sqrt(float64(cfg.Degrees[v])+1))
 			}
 			for d := 0; d < nd; d++ {
-				nd := norm(b.Dst[d])
-				selfW[d] = nd * nd
+				nv := norm(b.Dst[d])
+				selfW[d] = nv * nv
 				for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
-					edgeW[e] = nd * norm(b.Src[b.Col[e]])
+					edgeW[e] = nv * norm(b.Src[b.Col[e]])
 				}
 			}
 			return edgeW, selfW
@@ -54,6 +68,7 @@ func EdgeWeights(cfg Config, b *sampler.Block) (edgeW []float32, selfW []float32
 		// Mean over neighbors only; the self feature is concatenated
 		// separately, so selfW stays 0.
 		for d := 0; d < nd; d++ {
+			selfW[d] = 0
 			deg := b.RowPtr[d+1] - b.RowPtr[d]
 			if deg == 0 {
 				continue
@@ -65,7 +80,7 @@ func EdgeWeights(cfg Config, b *sampler.Block) (edgeW []float32, selfW []float32
 		}
 	case GIN:
 		// Sum aggregation with emphasised self loop: (1+ε)·h_v + Σ h_u.
-		selfCoef := float32(1 + m.Cfg.GINEps)
+		selfCoef := float32(1 + cfg.GINEps)
 		for d := 0; d < nd; d++ {
 			selfW[d] = selfCoef
 			for e := b.RowPtr[d]; e < b.RowPtr[d+1]; e++ {
@@ -80,38 +95,57 @@ func EdgeWeights(cfg Config, b *sampler.Block) (edgeW []float32, selfW []float32
 // for mb.InputNodes() (|V0| × f0) and is not mutated. The returned state
 // feeds Backward; state.Logits holds the output-layer pre-softmax scores.
 func (m *Model) Forward(mb *sampler.MiniBatch, x *tensor.Matrix) (*ForwardState, error) {
+	st := &ForwardState{}
+	if err := m.ForwardWS(tensor.NewWorkspace(), st, mb, x); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ForwardWS is Forward with every intermediate borrowed from ws and the
+// layer bookkeeping reused from st: the zero-allocation form the trainer
+// backends and serving workers run. Buffers (including st.Logits) are valid
+// until the owner's next ws.Reset; st must not be shared between concurrent
+// steps.
+func (m *Model) ForwardWS(ws *tensor.Workspace, st *ForwardState, mb *sampler.MiniBatch, x *tensor.Matrix) error {
 	L := m.Cfg.Layers()
 	if len(mb.Blocks) != L {
-		return nil, fmt.Errorf("gnn: mini-batch has %d blocks, model has %d layers", len(mb.Blocks), L)
+		return fmt.Errorf("gnn: mini-batch has %d blocks, model has %d layers", len(mb.Blocks), L)
 	}
 	if x.Rows != len(mb.InputNodes()) || x.Cols != m.Cfg.Dims[0] {
-		return nil, fmt.Errorf("gnn: feature matrix %dx%d, want %dx%d",
+		return fmt.Errorf("gnn: feature matrix %dx%d, want %dx%d",
 			x.Rows, x.Cols, len(mb.InputNodes()), m.Cfg.Dims[0])
 	}
-	st := &ForwardState{
-		mb:     mb,
-		inputs: make([]*tensor.Matrix, L),
-		aggs:   make([]*tensor.Matrix, L),
-		masks:  make([]*tensor.Matrix, L),
+	st.mb = mb
+	if len(st.inputs) != L {
+		st.inputs = make([]*tensor.Matrix, L)
+		st.aggs = make([]*tensor.Matrix, L)
+		st.masks = make([]*tensor.Matrix, L)
+		st.nbs = make([]Neighborhood, L)
 	}
 	h := x
 	for l := 0; l < L; l++ {
 		st.inputs[l] = h
-		z, dense, mask, err := m.PropagateLayer(l, NewNeighborhood(m.Cfg, mb.Blocks[l]), h)
+		nb := &st.nbs[l]
+		nb.init(m.Cfg, mb.Blocks[l], ws)
+		z, dense, mask, err := m.propagateLayer(l, nb, h, ws)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st.aggs[l] = dense
 		st.masks[l] = mask
 		h = z
 	}
 	st.Logits = h
-	return st, nil
+	return nil
 }
 
 // selfIdx returns [0, 1, ..., n-1] as int32 (the Dst-prefix rows of Src).
 func selfIdx(n int) []int32 {
-	idx := make([]int32, n)
+	return fillIdentity(make([]int32, n))
+}
+
+func fillIdentity(idx []int32) []int32 {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
@@ -122,13 +156,25 @@ func selfIdx(n int) []int32 {
 // through all layers and returns parameter gradients. It mirrors forward
 // propagation in reverse, as the paper describes (§II-B).
 func (m *Model) Backward(st *ForwardState, dLogits *tensor.Matrix) (*Gradients, error) {
+	grads := NewGradients(m.Params)
+	if err := m.BackwardWS(tensor.NewWorkspace(), st, dLogits, grads); err != nil {
+		return nil, err
+	}
+	return grads, nil
+}
+
+// BackwardWS is Backward into caller-owned gradients (every element
+// overwritten) with all intermediates borrowed from ws — the
+// zero-allocation form. st must come from a matching ForwardWS whose
+// buffers are still live; dLogits is not mutated.
+func (m *Model) BackwardWS(ws *tensor.Workspace, st *ForwardState, dLogits *tensor.Matrix, grads *Gradients) error {
 	L := m.Cfg.Layers()
 	if dLogits.Rows != st.Logits.Rows || dLogits.Cols != st.Logits.Cols {
-		return nil, fmt.Errorf("gnn: dLogits %dx%d, want %dx%d",
+		return fmt.Errorf("gnn: dLogits %dx%d, want %dx%d",
 			dLogits.Rows, dLogits.Cols, st.Logits.Rows, st.Logits.Cols)
 	}
-	grads := NewGradients(m.Params)
-	dz := dLogits.Clone()
+	dz := ws.Get(dLogits.Rows, dLogits.Cols)
+	copy(dz.Data, dLogits.Data)
 	for l := L - 1; l >= 0; l-- {
 		b := st.mb.Blocks[l]
 		if st.masks[l] != nil {
@@ -136,43 +182,61 @@ func (m *Model) Backward(st *ForwardState, dLogits *tensor.Matrix) (*Gradients, 
 		}
 		// Dense update backward: z = dense·W + bias.
 		tensor.TMatMul(grads.Weights[l], st.aggs[l], dz)
+		grads.Biases[l].Zero()
 		tensor.BiasGrad(grads.Biases[l], dz)
-		dDense := tensor.New(dz.Rows, m.Cfg.inDim(l))
+		dDense := ws.Get(dz.Rows, m.Cfg.inDim(l))
 		tensor.MatMulT(dDense, dz, m.Params.Weights[l])
 
 		// Aggregation backward into the layer input.
 		fin := m.Cfg.Dims[l]
-		dh := tensor.New(len(b.Src), fin)
-		nb := NewNeighborhood(m.Cfg, b)
+		dh := ws.GetZero(len(b.Src), fin)
+		nb := &st.nbs[l]
 		if m.Cfg.Kind == SAGE {
-			dSelf := tensor.New(dz.Rows, fin)
-			dMean := tensor.New(dz.Rows, fin)
+			// The self half of dDense lands directly on the Dst-prefix rows
+			// of dh (they are zero, so the split's copy equals the scatter-add
+			// the unfused path performed); the mean half feeds the scatter.
+			dSelf := &st.view
+			dSelf.Rows, dSelf.Cols, dSelf.Data = dz.Rows, fin, dh.Data[:dz.Rows*fin]
+			dMean := ws.Get(dz.Rows, fin)
 			tensor.SplitCols(dSelf, dMean, dDense)
-			tensor.ScatterAddRows(dh, dSelf, selfIdx(dz.Rows))
 			nb.AggregateBackward(dh, dMean)
 		} else {
 			nb.AggregateBackward(dh, dDense)
 		}
 		dz = dh
 	}
-	return grads, nil
+	return nil
 }
 
 // TrainStep runs forward, loss, and backward for one mini-batch, returning
 // the gradients (not yet applied), the mean loss, and the training accuracy.
 func (m *Model) TrainStep(mb *sampler.MiniBatch, x *tensor.Matrix) (*Gradients, float64, float64, error) {
-	st, err := m.Forward(mb, x)
+	grads := NewGradients(m.Params)
+	loss, acc, err := m.TrainStepWS(tensor.NewWorkspace(), &ForwardState{}, mb, x, grads)
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	return grads, loss, acc, nil
+}
+
+// TrainStepWS is TrainStep against caller-owned state: intermediates come
+// from ws, layer bookkeeping is reused from st, and the gradients are
+// written into grads (every element overwritten). With ws.Reset called at
+// each iteration boundary the steady-state step allocates nothing — the
+// property core's trainer backends rely on and the AllocsPerRun gates
+// enforce. The caller resets ws; this function only borrows.
+func (m *Model) TrainStepWS(ws *tensor.Workspace, st *ForwardState, mb *sampler.MiniBatch,
+	x *tensor.Matrix, grads *Gradients) (float64, float64, error) {
+	if err := m.ForwardWS(ws, st, mb, x); err != nil {
+		return 0, 0, err
 	}
 	if len(mb.Labels) != st.Logits.Rows {
-		return nil, 0, 0, fmt.Errorf("gnn: %d labels for %d targets", len(mb.Labels), st.Logits.Rows)
+		return 0, 0, fmt.Errorf("gnn: %d labels for %d targets", len(mb.Labels), st.Logits.Rows)
 	}
-	dLogits := tensor.New(st.Logits.Rows, st.Logits.Cols)
+	dLogits := ws.Get(st.Logits.Rows, st.Logits.Cols)
 	loss, correct := tensor.SoftmaxCrossEntropy(dLogits, st.Logits, mb.Labels)
-	grads, err := m.Backward(st, dLogits)
-	if err != nil {
-		return nil, 0, 0, err
+	if err := m.BackwardWS(ws, st, dLogits, grads); err != nil {
+		return 0, 0, err
 	}
-	return grads, loss, float64(correct) / float64(len(mb.Labels)), nil
+	return loss, float64(correct) / float64(len(mb.Labels)), nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gnn
+
+const raceEnabled = false

@@ -155,13 +155,20 @@ func (g *Graph) EdgeList() []Edge {
 func SortEdgesBySource(edges []Edge) []Edge {
 	out := make([]Edge, len(edges))
 	copy(out, edges)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
+	return SortEdgesBySourceInPlace(out)
+}
+
+// SortEdgesBySourceInPlace sorts edges by source (stable within a source by
+// destination) without copying — the reuse-friendly form for per-mini-batch
+// callers that own a scratch buffer. Returns edges for convenience.
+func SortEdgesBySourceInPlace(edges []Edge) []Edge {
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
 		}
-		return out[i].Dst < out[j].Dst
+		return edges[i].Dst < edges[j].Dst
 	})
-	return out
+	return edges
 }
 
 // CountSourceRuns returns the number of maximal runs of consecutive edges

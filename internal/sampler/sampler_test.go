@@ -373,3 +373,29 @@ func TestZeroFanoutIsExact(t *testing.T) {
 		}
 	}
 }
+
+// TestSortedEdgesBySourceIntoReusesBuffer pins the reuse contract of the
+// Into variant: a buffer of sufficient capacity is refilled in place and the
+// result matches the allocating form.
+func TestSortedEdgesBySourceIntoReusesBuffer(t *testing.T) {
+	b := &Block{
+		Src:    []int32{0, 1, 2, 3},
+		Dst:    []int32{0, 1},
+		RowPtr: []int32{0, 2, 4},
+		Col:    []int32{3, 1, 2, 3},
+	}
+	want := b.SortedEdgesBySource()
+	buf := make([]graph.Edge, 0, 16)
+	got := b.SortedEdgesBySourceInto(buf)
+	if &got[0:cap(got)][cap(got)-1] != &buf[0:cap(buf)][cap(buf)-1] {
+		t.Fatal("Into variant did not reuse the provided buffer")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}

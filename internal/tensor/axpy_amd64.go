@@ -1,0 +1,19 @@
+//go:build amd64
+
+package tensor
+
+// SSE row-update kernels (axpy_amd64.s). SSE is part of the amd64 baseline,
+// so no runtime feature detection is needed.
+const haveAxpyAsm = true
+
+// axpyRowAsm computes dst[j] += alpha·src[j]. len(dst) == len(src), a
+// positive multiple of 16, guaranteed by the wrapper.
+//
+//go:noescape
+func axpyRowAsm(dst, src []float32, alpha float32)
+
+// axpyRow4Asm computes c0..c3[j] += a0..a3·b[j]. All slices share one
+// length, a positive multiple of 8, guaranteed by the wrapper.
+//
+//go:noescape
+func axpyRow4Asm(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32)

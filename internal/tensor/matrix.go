@@ -1,10 +1,13 @@
 // Package tensor provides dense float32 matrices and the numeric kernels
-// used by the GNN trainers: parallel blocked matrix multiplication,
-// element-wise operations, activations and loss functions.
+// used by the GNN trainers: cache-blocked parallel matrix multiplication,
+// element-wise and fused operations, activations, loss functions, and the
+// Workspace arena behind the zero-allocation training/serving hot paths.
 //
-// All kernels are pure Go (stdlib only). Parallel kernels split work across
-// goroutines by row blocks; the degree of parallelism is controlled by
-// SetParallelism and defaults to runtime.NumCPU().
+// Kernels are stdlib-only Go, with the innermost row updates in SSE
+// assembly on amd64 (axpy_amd64.s; a pure-Go fallback serves other
+// architectures). Parallel kernels split work across goroutines by row
+// blocks; the degree of parallelism is controlled by SetParallelism and
+// defaults to runtime.NumCPU().
 package tensor
 
 import (

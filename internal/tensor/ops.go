@@ -5,97 +5,6 @@ import (
 	"math"
 )
 
-// MatMul computes C = A·B. A is m×k, B is k×n, C is m×n. C must be
-// pre-allocated; it is overwritten. The kernel is row-parallel with an
-// inner loop ordered (i, k, j) for sequential access to B and C.
-func MatMul(c, a, b *Matrix) {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	n := b.Cols
-	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for kk, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bk := b.Data[kk*n : (kk+1)*n]
-				for j, bv := range bk {
-					ci[j] += av * bv
-				}
-			}
-		}
-	})
-}
-
-// MatMulT computes C = A·Bᵀ. A is m×k, B is n×k, C is m×n.
-func MatMulT(c, a, b *Matrix) {
-	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)T -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	k := a.Cols
-	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
-			for j := 0; j < b.Rows; j++ {
-				bj := b.Data[j*k : (j+1)*k]
-				var sum float32
-				for t, av := range ai {
-					sum += av * bj[t]
-				}
-				ci[j] = sum
-			}
-		}
-	})
-}
-
-// TMatMul computes C = Aᵀ·B. A is k×m, B is k×n, C is m×n. Used for weight
-// gradients (C = Xᵀ·dY). Parallelised over rows of C (columns of A).
-func TMatMul(c, a, b *Matrix) {
-	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: TMatMul shapes (%dx%d)T · %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	n := b.Cols
-	parallelRows(c.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			for kk := 0; kk < a.Rows; kk++ {
-				av := a.Data[kk*a.Cols+i]
-				if av == 0 {
-					continue
-				}
-				bk := b.Data[kk*n : (kk+1)*n]
-				for j, bv := range bk {
-					ci[j] += av * bv
-				}
-			}
-		}
-	})
-}
-
-// Transpose returns Aᵀ as a new matrix.
-func Transpose(a *Matrix) *Matrix {
-	out := New(a.Cols, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
-		}
-	}
-	return out
-}
-
 // Add computes dst = a + b element-wise. Shapes must match.
 func Add(dst, a, b *Matrix) {
 	checkSameShape("Add", dst, a, b)
@@ -134,14 +43,20 @@ func AddBias(m *Matrix, bias *Matrix) {
 	if bias.Rows != 1 || bias.Cols != m.Cols {
 		panic("tensor: AddBias wants 1xN bias matching m.Cols")
 	}
-	parallelRows(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			for j, bv := range bias.Data {
-				row[j] += bv
-			}
+	if Parallelism() <= 1 {
+		addBiasRange(m, bias, 0, m.Rows)
+		return
+	}
+	parallelRows(m.Rows, func(lo, hi int) { addBiasRange(m, bias, lo, hi) })
+}
+
+func addBiasRange(m, bias *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		for j, bv := range bias.Data {
+			row[j] += bv
 		}
-	})
+	}
 }
 
 // BiasGrad accumulates the column sums of dY into a 1×n gradient.
@@ -158,17 +73,67 @@ func BiasGrad(grad, dy *Matrix) {
 }
 
 // ReLU applies max(0, x) in place and returns a mask matrix with 1 where the
-// input was positive (for the backward pass).
+// input was positive (for the backward pass). Allocating wrapper around
+// ReLUInto for callers outside the zero-allocation loops.
 func ReLU(m *Matrix) *Matrix {
 	mask := New(m.Rows, m.Cols)
+	ReLUInto(m, mask)
+	return mask
+}
+
+// ReLUInto applies max(0, x) in place and writes the backward-pass mask (1
+// where the input was positive, else 0) into the caller-provided mask, which
+// is fully overwritten — workspace buffers need no pre-zeroing.
+func ReLUInto(m, mask *Matrix) {
+	if mask.Rows != m.Rows || mask.Cols != m.Cols {
+		panic("tensor: ReLUInto mask shape mismatch")
+	}
+	md := mask.Data[:len(m.Data)]
 	for i, v := range m.Data {
 		if v > 0 {
-			mask.Data[i] = 1
+			md[i] = 1
 		} else {
 			m.Data[i] = 0
+			md[i] = 0
 		}
 	}
-	return mask
+}
+
+// AddBiasReLU fuses AddBias + ReLUInto into one pass over m: every row gets
+// the 1×n bias added, activations are clamped at zero in place, and the
+// backward mask is written into the caller-provided mask (fully
+// overwritten). One memory pass instead of the three the unfused sequence
+// (matmul store, bias read-modify-write, relu read-modify-write) costs.
+func AddBiasReLU(m, bias, mask *Matrix) {
+	if bias.Rows != 1 || bias.Cols != m.Cols {
+		panic("tensor: AddBiasReLU wants 1xN bias matching m.Cols")
+	}
+	if mask.Rows != m.Rows || mask.Cols != m.Cols {
+		panic("tensor: AddBiasReLU mask shape mismatch")
+	}
+	if Parallelism() <= 1 {
+		addBiasReLURange(m, bias, mask, 0, m.Rows)
+		return
+	}
+	parallelRows(m.Rows, func(lo, hi int) { addBiasReLURange(m, bias, mask, lo, hi) })
+}
+
+func addBiasReLURange(m, bias, mask *Matrix, lo, hi int) {
+	bd := bias.Data
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		mrow := mask.Row(i)[:len(row)]
+		for j, bv := range bd {
+			v := row[j] + bv
+			if v > 0 {
+				row[j] = v
+				mrow[j] = 1
+			} else {
+				row[j] = 0
+				mrow[j] = 0
+			}
+		}
+	}
 }
 
 // ReLUBackward multiplies dy by the ReLU mask in place.
@@ -264,11 +229,39 @@ func GatherRows(dst, src *Matrix, idx []int32) {
 	if dst.Rows != len(idx) || dst.Cols != src.Cols {
 		panic("tensor: GatherRows shape mismatch")
 	}
-	parallelRows(len(idx), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(dst.Row(i), src.Row(int(idx[i])))
-		}
-	})
+	if Parallelism() <= 1 {
+		gatherRowsRange(dst, src, idx, 0, len(idx))
+		return
+	}
+	parallelRows(len(idx), func(lo, hi int) { gatherRowsRange(dst, src, idx, lo, hi) })
+}
+
+func gatherRowsRange(dst, src *Matrix, idx []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		copy(dst.Row(i), src.Row(int(idx[i])))
+	}
+}
+
+// GatherRowsAt copies rows idx of src into the column band
+// [dstCol, dstCol+src.Cols) of dst — the fused gather-into-concat the SAGE
+// layer uses to build its [self ‖ mean] dense input without a separate self
+// matrix and ConcatCols pass.
+func GatherRowsAt(dst *Matrix, dstCol int, src *Matrix, idx []int32) {
+	if dst.Rows != len(idx) || dstCol < 0 || dstCol+src.Cols > dst.Cols {
+		panic("tensor: GatherRowsAt shape mismatch")
+	}
+	if Parallelism() <= 1 {
+		gatherRowsAtRange(dst, dstCol, src, idx, 0, len(idx))
+		return
+	}
+	parallelRows(len(idx), func(lo, hi int) { gatherRowsAtRange(dst, dstCol, src, idx, lo, hi) })
+}
+
+func gatherRowsAtRange(dst *Matrix, dstCol int, src *Matrix, idx []int32, lo, hi int) {
+	w := src.Cols
+	for i := lo; i < hi; i++ {
+		copy(dst.Row(i)[dstCol:dstCol+w], src.Row(int(idx[i])))
+	}
 }
 
 // ScatterAddRows adds each row i of src into row idx[i] of dst.

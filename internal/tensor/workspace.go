@@ -1,0 +1,149 @@
+package tensor
+
+// Workspace is a size-bucketed arena for the matrices and scratch slices a
+// training or serving hot loop churns through. One iteration borrows buffers
+// with Get/F32/I32 and the owner calls Reset at the iteration boundary, after
+// which every borrowed buffer is considered free and will be handed out
+// again. Nothing is ever returned to the garbage collector, so a loop whose
+// shapes have stabilised (mini-batch sizes vary only within a power-of-two
+// capacity class) runs at zero allocations per iteration — the property the
+// AllocsPerRun gates in gnn and core enforce.
+//
+// A Workspace is NOT safe for concurrent use: the runtime gives each trainer
+// backend and each serving worker its own arena, mirroring how the fleet
+// already privatises replicas and clocks.
+type Workspace struct {
+	mats  map[int]*matBucket
+	f32s  map[int]*f32Bucket
+	i32s  map[int]*i32Bucket
+	bytes int64
+}
+
+type matBucket struct {
+	items []*Matrix
+	used  int
+}
+
+type f32Bucket struct {
+	items [][]float32
+	used  int
+}
+
+type i32Bucket struct {
+	items [][]int32
+	used  int
+}
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		mats: make(map[int]*matBucket),
+		f32s: make(map[int]*f32Bucket),
+		i32s: make(map[int]*i32Bucket),
+	}
+}
+
+// capClass rounds n up to the bucket capacity: the next power of two. Buckets
+// by capacity class (not exact size) let iteration-to-iteration shape jitter
+// (sampled mini-batches never repeat sizes exactly) reuse the same buffers.
+func capClass(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Get borrows a rows×cols matrix valid until the next Reset. The contents
+// are NOT cleared — callers that need zeros use GetZero, everything else
+// overwrites every element anyway and must not pay a wasted pass.
+func (ws *Workspace) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	cls := capClass(n)
+	b := ws.mats[cls]
+	if b == nil {
+		b = &matBucket{}
+		ws.mats[cls] = b
+	}
+	if b.used < len(b.items) {
+		m := b.items[b.used]
+		b.used++
+		m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+		return m
+	}
+	m := &Matrix{Rows: rows, Cols: cols, Data: make([]float32, n, cls)}
+	b.items = append(b.items, m)
+	b.used++
+	ws.bytes += int64(cls) * 4
+	return m
+}
+
+// GetZero borrows a zeroed rows×cols matrix valid until the next Reset.
+func (ws *Workspace) GetZero(rows, cols int) *Matrix {
+	m := ws.Get(rows, cols)
+	m.Zero()
+	return m
+}
+
+// F32 borrows a float32 scratch slice of length n valid until the next
+// Reset. Contents are not cleared.
+func (ws *Workspace) F32(n int) []float32 {
+	cls := capClass(n)
+	b := ws.f32s[cls]
+	if b == nil {
+		b = &f32Bucket{}
+		ws.f32s[cls] = b
+	}
+	if b.used < len(b.items) {
+		s := b.items[b.used][:n]
+		b.used++
+		return s
+	}
+	s := make([]float32, n, cls)
+	b.items = append(b.items, s[:cls])
+	b.used++
+	ws.bytes += int64(cls) * 4
+	return s
+}
+
+// I32 borrows an int32 scratch slice of length n valid until the next Reset.
+// Contents are not cleared.
+func (ws *Workspace) I32(n int) []int32 {
+	cls := capClass(n)
+	b := ws.i32s[cls]
+	if b == nil {
+		b = &i32Bucket{}
+		ws.i32s[cls] = b
+	}
+	if b.used < len(b.items) {
+		s := b.items[b.used][:n]
+		b.used++
+		return s
+	}
+	s := make([]int32, n, cls)
+	b.items = append(b.items, s[:cls])
+	b.used++
+	ws.bytes += int64(cls) * 4
+	return s
+}
+
+// Reset frees every borrowed buffer at once (an iteration boundary). The
+// memory is retained for reuse; previously returned matrices and slices must
+// not be used afterwards.
+func (ws *Workspace) Reset() {
+	for _, b := range ws.mats {
+		b.used = 0
+	}
+	for _, b := range ws.f32s {
+		b.used = 0
+	}
+	for _, b := range ws.i32s {
+		b.used = 0
+	}
+}
+
+// Bytes reports the arena's total retained footprint.
+func (ws *Workspace) Bytes() int64 { return ws.bytes }

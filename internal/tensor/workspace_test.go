@@ -1,0 +1,88 @@
+package tensor
+
+import "testing"
+
+func TestWorkspaceReuseAfterReset(t *testing.T) {
+	ws := NewWorkspace()
+	m1 := ws.Get(3, 5)
+	m1.Fill(7)
+	f1 := ws.F32(10)
+	i1 := ws.I32(6)
+	ws.Reset()
+	m2 := ws.Get(4, 4) // same capacity class (16)
+	if &m2.Data[0] != &m1.Data[0] {
+		t.Fatal("Get after Reset should reuse the same backing array")
+	}
+	if m2.Rows != 4 || m2.Cols != 4 || len(m2.Data) != 16 {
+		t.Fatalf("reshaped matrix wrong: %dx%d len %d", m2.Rows, m2.Cols, len(m2.Data))
+	}
+	f2 := ws.F32(9)
+	if &f2[0] != &f1[0] {
+		t.Fatal("F32 after Reset should reuse the same backing array")
+	}
+	i2 := ws.I32(5)
+	if &i2[0] != &i1[0] {
+		t.Fatal("I32 after Reset should reuse the same backing array")
+	}
+}
+
+func TestWorkspaceDistinctWithinIteration(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(2, 2)
+	b := ws.Get(2, 2)
+	if &a.Data[0] == &b.Data[0] {
+		t.Fatal("two Gets without Reset must return distinct buffers")
+	}
+}
+
+func TestWorkspaceGetZero(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(2, 3)
+	m.Fill(5)
+	ws.Reset()
+	z := ws.GetZero(2, 3)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatal("GetZero returned dirty buffer")
+		}
+	}
+}
+
+// TestWorkspaceSteadyStateAllocFree is the arena's own allocation gate: once
+// shapes have been seen, a reset-and-borrow iteration allocates nothing.
+func TestWorkspaceSteadyStateAllocFree(t *testing.T) {
+	ws := NewWorkspace()
+	iter := func() {
+		ws.Reset()
+		ws.Get(33, 7)
+		ws.GetZero(8, 8)
+		ws.F32(100)
+		ws.I32(40)
+	}
+	iter() // grow
+	if allocs := testing.AllocsPerRun(50, iter); allocs != 0 {
+		t.Fatalf("steady-state workspace iteration allocated %v times", allocs)
+	}
+}
+
+func TestCapClass(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32}} {
+		if got := capClass(tc.n); got != tc.want {
+			t.Fatalf("capClass(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestWorkspaceBytesGrowsOnce(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Get(10, 10)
+	after1 := ws.Bytes()
+	if after1 == 0 {
+		t.Fatal("Bytes should report retained footprint")
+	}
+	ws.Reset()
+	ws.Get(10, 10)
+	if ws.Bytes() != after1 {
+		t.Fatalf("steady-state reuse should not grow footprint: %d -> %d", after1, ws.Bytes())
+	}
+}
