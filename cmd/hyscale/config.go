@@ -10,6 +10,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/hw"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 // options mirrors the command-line flags one-to-one; buildConfig translates
@@ -29,6 +30,7 @@ type options struct {
 	tfp       bool
 	drm       bool
 	tensorPar int
+	simd      string
 	quantize  bool
 	saint     bool
 	nodes     int
@@ -55,7 +57,11 @@ type runSpec struct {
 	Kind    gnn.Kind
 	Plat    hw.Platform
 	Fanouts []int
-	opts    options
+	// SIMD is the parsed -simd dispatch level ("auto" resolves to the
+	// detected ceiling here; asking for a level the CPU lacks fails later,
+	// at SetSIMDLevel time, so syntax and capability errors stay distinct).
+	SIMD tensor.SIMDLevel
+	opts options
 }
 
 // buildConfig resolves and validates every flag. Bad values return errors
@@ -103,6 +109,11 @@ func buildConfig(o options) (*runSpec, error) {
 	if o.tensorPar < 0 {
 		return nil, fmt.Errorf("-tensor-par %d: negative (0 means one goroutine per CPU)", o.tensorPar)
 	}
+	lvl, err := tensor.ParseSIMDLevel(o.simd)
+	if err != nil {
+		return nil, fmt.Errorf("-simd %q: %w", o.simd, err)
+	}
+	r.SIMD = lvl
 	if o.batch < 1 {
 		return nil, fmt.Errorf("-batch %d: need at least 1", o.batch)
 	}

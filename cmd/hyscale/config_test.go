@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gnn"
 	"repro/internal/hw"
+	"repro/internal/tensor"
 )
 
 // validOptions mirrors the flag defaults.
@@ -220,6 +221,36 @@ func TestBuildConfigTensorPar(t *testing.T) {
 		}
 		if r.opts.tensorPar != par {
 			t.Fatalf("run spec dropped -tensor-par: got %d want %d", r.opts.tensorPar, par)
+		}
+	}
+}
+
+func TestBuildConfigSIMD(t *testing.T) {
+	o := validOptions()
+	o.simd = "mmx"
+	if _, err := buildConfig(o); err == nil {
+		t.Fatal("expected error for unknown -simd level")
+	}
+	// "auto" and "" both resolve to the detected ceiling; explicit levels
+	// resolve to themselves (capability is checked later, at apply time).
+	for _, tc := range []struct {
+		in   string
+		want tensor.SIMDLevel
+	}{
+		{"auto", tensor.DetectedSIMDLevel()},
+		{"", tensor.DetectedSIMDLevel()},
+		{"generic", tensor.SIMDGeneric},
+		{"sse", tensor.SIMDSSE},
+		{"AVX2", tensor.SIMDAVX2},
+	} {
+		o := validOptions()
+		o.simd = tc.in
+		r, err := buildConfig(o)
+		if err != nil {
+			t.Fatalf("-simd %q rejected: %v", tc.in, err)
+		}
+		if r.SIMD != tc.want {
+			t.Fatalf("-simd %q resolved to %v, want %v", tc.in, r.SIMD, tc.want)
 		}
 	}
 }

@@ -67,6 +67,7 @@ func main() {
 	noTFP := flag.Bool("no-tfp", false, "disable two-stage feature prefetching")
 	noDRM := flag.Bool("no-drm", false, "disable dynamic resource management")
 	flag.IntVar(&o.tensorPar, "tensor-par", 0, "worker goroutines for the numeric tensor kernels (GEMM, aggregation); 0 = one per CPU")
+	flag.StringVar(&o.simd, "simd", "auto", "SIMD dispatch level for the tensor kernels: auto | generic | sse | avx2 (every level is bit-identical; levels above the CPU's capability are rejected)")
 	flag.BoolVar(&o.quantize, "quantize", false, "int8-quantize features on the PCIe link (§VIII extension)")
 	flag.BoolVar(&o.saint, "saint", false, "use GraphSAINT random-walk sampling instead of neighbor sampling")
 	flag.IntVar(&o.nodes, "nodes", 1, "execute a multi-node run with this many partitioned shards")
@@ -99,8 +100,12 @@ func run(o options) error {
 	if o.tensorPar > 0 {
 		tensor.SetParallelism(o.tensorPar)
 	}
-	fmt.Printf("Materializing %s (scaled 1/%d: %d vertices, %d edges, f=%v; tensor kernels on %d goroutines)...\n",
-		o.dataset, o.scale, r.Spec.NumVertices, r.Spec.NumEdges, r.Spec.FeatDims, tensor.Parallelism())
+	if _, err := tensor.SetSIMDLevel(r.SIMD); err != nil {
+		return fmt.Errorf("-simd %q: %w", o.simd, err)
+	}
+	fmt.Printf("Materializing %s (scaled 1/%d: %d vertices, %d edges, f=%v; tensor kernels on %d goroutines, %s simd)...\n",
+		o.dataset, o.scale, r.Spec.NumVertices, r.Spec.NumEdges, r.Spec.FeatDims,
+		tensor.Parallelism(), tensor.ActiveSIMDLevel())
 	ds, err := datagen.Materialize(r.Spec, 0.2, tensor.NewRNG(o.seed))
 	if err != nil {
 		return err

@@ -39,14 +39,27 @@ type KernelMeasurement struct {
 	OptimizedGBs    float64 `json:"optimized_gbs,omitempty"`
 	BaselineAllocs  float64 `json:"baseline_allocs_per_op"`
 	OptimizedAllocs float64 `json:"optimized_allocs_per_op"`
+	// TensorPar and SIMDLevel record the dispatch state the row's optimized
+	// side ran under; RooflineFrac is its achieved fraction of the machine
+	// roofline at the row's arithmetic intensity (see roofline.go).
+	TensorPar    int     `json:"tensor_parallelism,omitempty"`
+	SIMDLevel    string  `json:"simd_level,omitempty"`
+	RooflineFrac float64 `json:"roofline_frac,omitempty"`
 }
 
 // KernelsReport is the BENCH_kernels.json payload.
 type KernelsReport struct {
-	GOARCH      string              `json:"goarch"`
-	NumCPU      int                 `json:"num_cpu"`
-	Parallelism int                 `json:"tensor_parallelism"`
-	Kernels     []KernelMeasurement `json:"kernels"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	CPUModel    string `json:"cpu_model,omitempty"`
+	Parallelism int    `json:"tensor_parallelism"`
+	// SIMDLevel is the dispatch level active for the suite (simd trajectory
+	// rows override per-entry); PeakGFLOPS/StreamGBs are the machine's
+	// probed roofline ceilings (FMA-free compute peak and stream bandwidth).
+	SIMDLevel  string              `json:"simd_level"`
+	PeakGFLOPS float64             `json:"peak_gflops"`
+	StreamGBs  float64             `json:"stream_gbs"`
+	Kernels    []KernelMeasurement `json:"kernels"`
 }
 
 // measure times fn (after one warm-up call) until ~80 ms has elapsed and
@@ -120,8 +133,10 @@ func newKernelFixture(seed uint64) (*kernelFixture, error) {
 func Kernels(seed uint64) (*KernelsReport, error) {
 	rng := tensor.NewRNG(seed)
 	report := &KernelsReport{
-		GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(), Parallelism: tensor.Parallelism(),
+		GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(), CPUModel: cpuModel(),
+		Parallelism: tensor.Parallelism(), SIMDLevel: tensor.ActiveSIMDLevel().String(),
 	}
+	report.PeakGFLOPS, report.StreamGBs = MachinePeaks()
 
 	// --- GEMMs at the paper's layer shapes.
 	gemm := func(name string, m, k, n int, ref, opt func(c, a, b *tensor.Matrix), bT, aT bool) {
@@ -148,6 +163,41 @@ func Kernels(seed uint64) (*KernelsReport, error) {
 	gemm("MatMulT", 4096, 256, 128, tensor.MatMulTRef, tensor.MatMulT, true, false)
 	// TMatMul: (R×m)ᵀ·(R×n) with the batch extent R in front.
 	gemm("TMatMul", 128, 4096, 64, tensor.TMatMulRef, tensor.TMatMul, false, true)
+
+	// --- SIMD dispatch trajectory: the same blocked GEMM at the SSE level
+	// it shipped with (PR 5's recorded baseline) vs the AVX2 dispatch, on
+	// machines that have it. Both sides are bit-identical in output — this
+	// row isolates the pure lane-width gain.
+	if tensor.DetectedSIMDLevel() >= tensor.SIMDAVX2 {
+		m, k, n := 4096, 256, 256
+		a := tensor.New(m, k)
+		tensor.NormalInit(a, 1, rng)
+		bm := tensor.New(k, n)
+		tensor.NormalInit(bm, 1, rng)
+		c := tensor.New(m, n)
+		prev, err := tensor.SetSIMDLevel(tensor.SIMDSSE)
+		if err != nil {
+			return nil, err
+		}
+		sseSec, sseAllocs := measure(func() { tensor.MatMul(c, a, bm) })
+		if _, err := tensor.SetSIMDLevel(tensor.SIMDAVX2); err != nil {
+			return nil, err
+		}
+		avxSec, avxAllocs := measure(func() { tensor.MatMul(c, a, bm) })
+		if _, err := tensor.SetSIMDLevel(prev); err != nil {
+			return nil, err
+		}
+		flops := 2 * float64(m) * float64(k) * float64(n)
+		bytes := 4 * float64(m*k+k*n+m*n)
+		report.Kernels = append(report.Kernels, KernelMeasurement{
+			Kernel: "MatMul(sse→avx2)", Shape: fmt.Sprintf("%dx%d·%dx%d", m, k, k, n),
+			BaselineSec: sseSec, OptimizedSec: avxSec, Speedup: sseSec / avxSec,
+			BaselineGFLOPS: flops / sseSec / 1e9, OptimizedGFLOPS: flops / avxSec / 1e9,
+			BaselineGBs: bytes / sseSec / 1e9, OptimizedGBs: bytes / avxSec / 1e9,
+			BaselineAllocs: sseAllocs, OptimizedAllocs: avxAllocs,
+			SIMDLevel: tensor.SIMDAVX2.String(),
+		})
+	}
 
 	// --- Backward scatter at ogbn-products mini-batch scale.
 	fx, err := newKernelFixture(seed)
@@ -267,12 +317,13 @@ func Kernels(seed uint64) (*KernelsReport, error) {
 	est := &gnn.ForwardState{}
 	egrads := gnn.NewGradients(fx.m.Params)
 	stageWS := tensor.NewWorkspace()
+	var emb sampler.MiniBatch // reused by SampleInto: the optimized side samples allocation-free too
 	wsEpoch := func() {
 		for it := 0; it < iters; it++ {
-			mb, err := esmp.Sample(batcher.Next(), epochRng)
-			if err != nil {
+			if err := esmp.SampleInto(&emb, batcher.Next(), epochRng); err != nil {
 				panic(err)
 			}
+			mb := &emb
 			stageWS.Reset()
 			x := stageWS.Get(len(mb.InputNodes()), fx.ds.Features.Cols)
 			tensor.GatherRows(x, fx.ds.Features, mb.InputNodes())
@@ -290,6 +341,18 @@ func Kernels(seed uint64) (*KernelsReport, error) {
 		BaselineSec: eSec, OptimizedSec: fSec, Speedup: eSec / fSec,
 		BaselineAllocs: eAllocs, OptimizedAllocs: fAllocs,
 	})
+
+	// --- Annotate every row with its dispatch state and roofline fraction.
+	for i := range report.Kernels {
+		k := &report.Kernels[i]
+		if k.TensorPar == 0 {
+			k.TensorPar = tensor.Parallelism()
+		}
+		if k.SIMDLevel == "" {
+			k.SIMDLevel = tensor.ActiveSIMDLevel().String()
+		}
+		rooflineFrac(k, report.PeakGFLOPS, report.StreamGBs)
+	}
 	return report, nil
 }
 
@@ -307,16 +370,17 @@ func ExtKernels(seed uint64) (*Table, error) {
 // cmd/experiments render the same artifact they serialize).
 func KernelsTable(report *KernelsReport) *Table {
 	t := &Table{
-		Title: fmt.Sprintf("Extension: kernel before/after (GOARCH %s, %d CPUs, tensor parallelism %d)",
-			report.GOARCH, report.NumCPU, report.Parallelism),
+		Title: fmt.Sprintf("Extension: kernel before/after (GOARCH %s, %d CPUs, tensor parallelism %d, simd %s, peak %.1f GFLOP/s, stream %.1f GB/s)",
+			report.GOARCH, report.NumCPU, report.Parallelism, report.SIMDLevel,
+			report.PeakGFLOPS, report.StreamGBs),
 		Header: []string{"Kernel", "Shape", "Before s/op", "After s/op", "Speedup",
-			"After GFLOP/s", "After GB/s", "Allocs before", "Allocs after"},
+			"After GFLOP/s", "After GB/s", "Roofline", "Allocs before", "Allocs after"},
 	}
 	for _, k := range report.Kernels {
 		t.AddRow(Txt(k.Kernel), Txt(k.Shape),
 			Num(k.BaselineSec, "%.3g"), Num(k.OptimizedSec, "%.3g"), Num(k.Speedup, "%.2fx"),
 			Num(k.OptimizedGFLOPS, "%.1f"), Num(k.OptimizedGBs, "%.1f"),
-			Num(k.BaselineAllocs, "%.0f"), Num(k.OptimizedAllocs, "%.0f"))
+			Num(k.RooflineFrac*100, "%.0f%%"), Num(k.BaselineAllocs, "%.0f"), Num(k.OptimizedAllocs, "%.0f"))
 	}
 	return t
 }

@@ -1,0 +1,92 @@
+// Roofline anchoring for the kernel trajectory: two micro-probes establish
+// the machine's operational ceilings — an FMA-free peak-FLOPS probe (the
+// numeric core deliberately keeps multiply and add unfused for bit-exact
+// SIMD dispatch, so the honest compute roof is mul+add issue rate, not the
+// FMA spec sheet) and a stream-bandwidth probe — and every kernel row is
+// then reported as a fraction of the roofline at its arithmetic intensity:
+// min(peak, AI × stream). Both probes run the repo's own kernels, so the
+// roof moves with the dispatch level like the kernels it anchors.
+package bench
+
+import (
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// MachinePeaks measures the two roofline ceilings with in-repo kernels.
+//
+// The peak probe drives the blocked GEMM's four-row register tile
+// (tensor.AxpyRow4: 8 flops per element of b) over rows that fit L1, so
+// arithmetic throughput — not memory — is the limit. The stream probe
+// drives tensor.AxpyRow (2 flops, 12 bytes per element: read dst and src,
+// write dst) over arrays far beyond LLC, so bandwidth is the limit.
+func MachinePeaks() (peakGFLOPS, streamGBs float64) {
+	// Peak: 5 rows × 4 KiB = 20 KiB, L1-resident on any target machine.
+	const n = 1024
+	rows := make([][]float32, 5)
+	for i := range rows {
+		rows[i] = make([]float32, n)
+		for j := range rows[i] {
+			rows[i][j] = 1 + float32(j%7)*1e-3
+		}
+	}
+	const inner = 64 // amortize the call and timer overhead
+	sec, _ := measure(func() {
+		for r := 0; r < inner; r++ {
+			tensor.AxpyRow4(rows[0], rows[1], rows[2], rows[3], rows[4],
+				1e-6, -1e-6, 2e-6, -2e-6)
+		}
+	})
+	peakGFLOPS = inner * 8 * n / sec / 1e9
+
+	// Stream: 2 × 64 MiB streams through the AxpyRow update.
+	const m = 1 << 24
+	dst := make([]float32, m)
+	src := make([]float32, m)
+	for i := range src {
+		src[i] = 1
+	}
+	sec2, _ := measure(func() { tensor.AxpyRow(dst, src, 1e-6) })
+	streamGBs = 12 * m / sec2 / 1e9
+	return peakGFLOPS, streamGBs
+}
+
+// rooflineFrac fills each measurement's achieved fraction of the machine
+// roofline. GEMM-like rows (flops and bytes known) are measured against
+// min(peak, AI × stream) at their arithmetic intensity; bandwidth-only rows
+// (the backward scatter) against the stream ceiling directly. The fraction
+// can exceed 1 when a kernel's access pattern beats the probe's (e.g. more
+// cache reuse than pure streaming) — the probes are anchors, not bounds.
+func rooflineFrac(k *KernelMeasurement, peakGFLOPS, streamGBs float64) {
+	switch {
+	case k.OptimizedGFLOPS > 0 && k.OptimizedGBs > 0:
+		ai := k.OptimizedGFLOPS / k.OptimizedGBs // flops/byte, sec cancels
+		roof := math.Min(peakGFLOPS, ai*streamGBs)
+		if roof > 0 {
+			k.RooflineFrac = k.OptimizedGFLOPS / roof
+		}
+	case k.OptimizedGBs > 0:
+		if streamGBs > 0 {
+			k.RooflineFrac = k.OptimizedGBs / streamGBs
+		}
+	}
+}
+
+// cpuModel returns the host CPU's model string (best effort, Linux).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The whole training iteration — sampling, feature staging, pricing,
+// propagation, gradient reduction, weight update, clock advance — must run
+// allocation-free once warm. This is the end-to-end gate over the reuse
+// discipline that is otherwise enforced piecewise (sampler.SampleInto,
+// gnn.TrainStepWS, the workspace arenas): any new per-iteration make/clone
+// anywhere in the loop fails it.
+func TestTrainingIterationZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocation gate is skipped under -race")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	cfg := baseConfig(t)
+	cfg.Plat.Accels = nil // one CPU trainer: the serial fast path
+	cfg.DRM = false
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := e.batcher.Next()
+	iterate := func() {
+		res, err := e.exec.RunIteration(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The epoch loop's update path, verbatim (minus DRM).
+		global, _, err := e.gsync.Reduce(res.Grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range e.replicas {
+			e.opts[i].Step(e.replicas[i].Params, global)
+		}
+		e.clock.Advance(res.Stage)
+	}
+	// Warm every arena to steady state: the rng advances each iteration, so
+	// sampled sizes vary and the retained storage must grow to its roof.
+	for i := 0; i < 60; i++ {
+		iterate()
+	}
+	if a := testing.AllocsPerRun(20, iterate); a != 0 {
+		t.Fatalf("training iteration allocated %.1f times per run, want 0", a)
+	}
+}
+
+// The serial fast path must not change what an iteration computes: a
+// single-trainer fleet's epoch statistics and trained parameters stay
+// bitwise identical whether the share arrives alone (serial path) or the
+// batch is large enough that the concurrent path would have run — here we
+// pin serial-path results across two identically seeded engines to catch
+// nondeterminism sneaking into the scratch reuse.
+func TestSerialIterationDeterministic(t *testing.T) {
+	run := func() (*EpochStats, float32) {
+		cfg := baseConfig(t)
+		cfg.Plat.Accels = nil
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st *EpochStats
+		for i := 0; i < 2; i++ {
+			if st, err = e.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st, e.Params().Weights[0].Data[0]
+	}
+	st1, w1 := run()
+	st2, w2 := run()
+	if st1.Loss != st2.Loss || st1.Accuracy != st2.Accuracy || w1 != w2 {
+		t.Fatalf("serial path nondeterministic: loss %v vs %v, acc %v vs %v, w %v vs %v",
+			st1.Loss, st2.Loss, st1.Accuracy, st2.Accuracy, w1, w2)
+	}
+}

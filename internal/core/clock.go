@@ -76,11 +76,15 @@ func (c *PipelineClock) AdvanceAfter(ready float64, st perfmodel.StageTimes) flo
 		// every trainer blocks on the global gradient before updating.
 		prop += st.NetSync
 	}
-	var stages []float64
+	// Fixed-size backing array: the stage vector never exceeds 5 entries
+	// (tfp + networked), so the appends below stay on the stack and the
+	// training loop's clock advance does not allocate.
+	var stageBuf [5]float64
+	stages := stageBuf[:0]
 	if c.tfp {
-		stages = []float64{samp, st.Load + runtimeBarrierSec, st.Trans + runtimeBarrierSec}
+		stages = append(stages, samp, st.Load+runtimeBarrierSec, st.Trans+runtimeBarrierSec)
 	} else {
-		stages = []float64{samp, st.Load + st.Trans + runtimeBarrierSec}
+		stages = append(stages, samp, st.Load+st.Trans+runtimeBarrierSec)
 	}
 	if c.networked {
 		// Remote feature fetches overlap the local pipeline as one more

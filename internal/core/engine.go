@@ -37,6 +37,23 @@ type Engine struct {
 	// first use by the stage executor so steady-state gathers reuse their
 	// buffers instead of allocating per iteration.
 	stageWS []*tensor.Workspace
+
+	// iter* are RunIteration's persistent scratch, created lazily like
+	// stageWS: share slices, the per-slot retained mini-batches SampleInto
+	// refills, feature pointers, per-accelerator stage vectors, and the
+	// result struct itself. Together with the trainers' stepScratch they
+	// make the whole steady-state training iteration — sample, gather,
+	// price, propagate — allocation-free (gated by a test). Everything here
+	// is valid until the next RunIteration, which is exactly how long the
+	// epoch loop uses it.
+	iterShares  [][]int32
+	iterBatches []*sampler.MiniBatch
+	iterMBs     []*sampler.MiniBatch
+	iterFeats   []*tensor.Matrix
+	iterLoad    []float64
+	iterPerAcc  []perfmodel.DeviceStage
+	iterSizes   perfmodel.Sizes
+	iterRes     IterResult
 }
 
 // NewEngine validates the configuration and builds the runtime: one model

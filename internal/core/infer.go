@@ -73,6 +73,12 @@ type InferencePipeline struct {
 	// it at batch entry — so the steady-state numeric path of a serving
 	// worker allocates nothing once the arena has grown to the largest batch.
 	ws *tensor.Workspace
+	// mb/rows/sizes are RunBatch's retained sampling and pricing scratch,
+	// rebuilt in place per batch (the same reuse discipline as ws; results
+	// that borrow them are valid until the next RunBatch).
+	mb    sampler.MiniBatch
+	rows  []float64
+	sizes perfmodel.Sizes
 }
 
 // NewInferencePipeline validates the configuration and builds one worker.
@@ -158,18 +164,19 @@ func (p *InferencePipeline) PredictBatchStage(computed int) (perfmodel.StageTime
 // RunBatch samples the L-hop fanout of the target vertices, gathers their
 // input features, and propagates only that subgraph, returning the logits
 // and the virtual stage times of the batch. The returned Logits (and the
-// rest of the result's matrices) borrow the worker's arena: they are valid
-// until this pipeline's next RunBatch, so callers that outlive the batch
-// (the serving cache does) copy the rows they keep.
+// rest of the result's matrices) borrow the worker's arena, and Targets
+// borrows the worker's retained mini-batch: all of it is valid until this
+// pipeline's next RunBatch, so callers that outlive the batch (the serving
+// cache does) copy the rows they keep.
 func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
 	p.ws.Reset()
-	mb, err := p.smp.Sample(targets, p.rng)
-	if err != nil {
+	if err := p.smp.SampleInto(&p.mb, targets, p.rng); err != nil {
 		return nil, err
 	}
+	mb := &p.mb
 	x := p.ws.Get(len(mb.InputNodes()), p.cfg.Data.Features.Cols)
 	tensor.GatherRows(x, p.cfg.Data.Features, mb.InputNodes())
-	sz := actualSizes(mb)
+	sz := sizesInto(&p.sizes, mb)
 	st := perfmodel.StageTimes{
 		SampCPU: p.pm.SampleTimeCPUEdges(float64(mb.EdgesTraversed()), p.cfg.SampThreads),
 	}
@@ -179,7 +186,13 @@ func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
 		InputRows: len(mb.InputNodes()),
 	}
 	if p.cfg.Device > 0 {
-		rows := make([]float64, len(p.cfg.Plat.Accels))
+		if p.rows == nil {
+			p.rows = make([]float64, len(p.cfg.Plat.Accels))
+		}
+		rows := p.rows
+		for i := range rows {
+			rows[i] = 0
+		}
 		rows[p.cfg.Device-1] = sz.VL[0]
 		st.Load = p.pm.LoadTimeForDeviceRows(rows, p.cfg.LoadThreads)
 		if p.cfg.QuantizeTransfer {

@@ -46,33 +46,54 @@ type hybridExecutor struct {
 	e *Engine
 }
 
-// RunIteration executes the pipeline stages for one global mini-batch.
+// RunIteration executes the pipeline stages for one global mini-batch. The
+// returned result is owned by the engine's iteration scratch and valid until
+// the next RunIteration — the epoch loop consumes it within the iteration,
+// which keeps the whole steady-state iteration allocation-free.
 func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	e := x.e
-	out := &IterResult{}
+	out := &e.iterRes
+	*out = IterResult{}
 	shares := e.deviceShare(targets)
 
 	// --- Stage 1: Mini-batch Sampling (real work + virtual charge).
-	batches := make([]*sampler.MiniBatch, len(shares))
+	if len(e.iterBatches) != len(shares) {
+		e.iterBatches = make([]*sampler.MiniBatch, len(shares))
+		e.iterMBs = make([]*sampler.MiniBatch, len(shares))
+		for i := range e.iterMBs {
+			e.iterMBs[i] = &sampler.MiniBatch{}
+		}
+		e.iterFeats = make([]*tensor.Matrix, len(shares))
+	}
+	batches := e.iterBatches
+	for i := range batches {
+		batches[i] = nil
+	}
 	var sampEdgesCPU, sampEdgesAccel float64
 	for i, share := range shares {
 		if len(share) == 0 {
 			continue
 		}
-		var mb *sampler.MiniBatch
-		var err error
 		if e.saint != nil {
 			// GraphSAINT: the share size becomes this trainer's root
-			// count; targets from the batcher only size the shares.
-			mb, err = e.saint.SampleN(len(share), e.rng)
+			// count; targets from the batcher only size the shares. (This
+			// path keeps the allocating sampler: subgraph induction is
+			// shaped around per-call node sets.)
+			mb, err := e.saint.SampleN(len(share), e.rng)
+			if err != nil {
+				return nil, err
+			}
+			batches[i] = mb
 		} else {
-			mb, err = e.smp.Sample(share, e.rng)
+			// Slot-retained mini-batch, rebuilt in place: trainer i reads
+			// it until its Step returns, within this iteration — exactly
+			// the storage's lifetime.
+			if err := e.smp.SampleInto(e.iterMBs[i], share, e.rng); err != nil {
+				return nil, err
+			}
+			batches[i] = e.iterMBs[i]
 		}
-		if err != nil {
-			return nil, err
-		}
-		batches[i] = mb
-		edges := float64(mb.EdgesTraversed())
+		edges := float64(batches[i].EdgesTraversed())
 		out.Edges += edges
 		if i > 0 && e.assign.AccelSampleFrac > 0 {
 			sampEdgesAccel += edges * e.assign.AccelSampleFrac
@@ -93,10 +114,23 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	// stack's loader (framework vs native, overlapped — see
 	// perfmodel.LoadTimeForDeviceRows).
 	nAcc := len(e.cfg.Plat.Accels)
-	feats := make([]*tensor.Matrix, len(shares))
-	loadRows := make([]float64, nAcc)
+	feats := e.iterFeats
+	for i := range feats {
+		feats[i] = nil
+	}
+	if e.iterLoad == nil {
+		e.iterLoad = make([]float64, nAcc)
+		e.iterPerAcc = make([]perfmodel.DeviceStage, nAcc)
+	}
+	loadRows := e.iterLoad
+	for i := range loadRows {
+		loadRows[i] = 0
+	}
 	if nAcc > 0 {
-		st.PerAccel = make([]perfmodel.DeviceStage, nAcc)
+		for i := range e.iterPerAcc {
+			e.iterPerAcc[i] = perfmodel.DeviceStage{}
+		}
+		st.PerAccel = e.iterPerAcc
 	}
 	if e.stageWS == nil {
 		e.stageWS = make([]*tensor.Workspace, len(shares))
@@ -119,7 +153,7 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 			if e.cfg.QuantizeTransfer {
 				tensor.QuantizeRoundTrip(x) // inject the real int8 loss
 			}
-			sz := actualSizes(mb)
+			sz := sizesInto(&e.iterSizes, mb)
 			loadRows[i-1] = sz.VL[0]
 			tt := e.pm.TransferTimeDev(i-1, sz)
 			st.PerAccel[i-1].Trans = tt
@@ -138,7 +172,41 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 		st.NetFetch = e.locator.FetchSec(out.RemoteRows)
 	}
 
-	// --- Stage 4: GNN Propagation on all trainers concurrently.
+	// --- Stage 4: GNN Propagation on all trainers concurrently. A single
+	// active trainer — the CPU-only and benchmark shape — takes a serial
+	// fast path instead: the weighted all-reduce over one participant is
+	// the identity (its weight is exactly 1), so the trainer's own mean
+	// gradient IS the round's broadcast average bit for bit, and skipping
+	// the goroutine + channel + DONE/ACK machinery leaves the whole
+	// iteration allocation-free.
+	if countActive(batches) == 1 {
+		for i, mb := range batches {
+			if mb == nil {
+				continue
+			}
+			step, err := e.trainers[i].Step(mb, feats[i])
+			if err != nil {
+				return nil, err
+			}
+			out.LossSum += step.Loss * float64(len(mb.Targets))
+			out.Correct += step.Acc * float64(len(mb.Targets))
+			out.Targets += len(mb.Targets)
+			out.Grad = step.Grads
+			if i == 0 {
+				st.TrainCPU = step.PropSec
+			} else {
+				st.PerAccel[i-1].Train = step.PropSec
+				if step.PropSec > st.TrainAcc {
+					st.TrainAcc = step.PropSec
+				}
+			}
+			if step.FPGA != nil {
+				out.FPGA.Add(*step.FPGA)
+			}
+		}
+		out.Stage = st
+		return out, nil
+	}
 	results := make(chan trainerResult, len(shares))
 	sync_, err := optim.NewSynchronizer(countActive(batches))
 	if err != nil {
@@ -190,11 +258,18 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 }
 
 // deviceShare splits the global batch of targets according to the current
-// assignment. Index 0 is the CPU trainer (may be empty).
+// assignment. Index 0 is the CPU trainer (may be empty). The returned slice
+// is the engine's iteration scratch; shares are subslices of targets.
 func (e *Engine) deviceShare(targets []int32) [][]int32 {
 	total := e.assign.TotalBatch()
 	nAcc := len(e.cfg.Plat.Accels)
-	shares := make([][]int32, nAcc+1)
+	if len(e.iterShares) != nAcc+1 {
+		e.iterShares = make([][]int32, nAcc+1)
+	}
+	shares := e.iterShares
+	for i := range shares {
+		shares[i] = nil
+	}
 	if total == 0 {
 		shares[0] = targets
 		return shares
@@ -237,14 +312,27 @@ type trainerResult struct {
 
 // actualSizes converts a sampled mini-batch into perfmodel.Sizes.
 func actualSizes(mb *sampler.MiniBatch) perfmodel.Sizes {
+	var s perfmodel.Sizes
+	return sizesInto(&s, mb)
+}
+
+// sizesInto is actualSizes into reused backing arrays — the hot paths'
+// variant. The returned value shares the scratch's slices and is valid
+// until the next call with the same scratch.
+func sizesInto(s *perfmodel.Sizes, mb *sampler.MiniBatch) perfmodel.Sizes {
 	L := len(mb.Blocks)
-	s := perfmodel.Sizes{VL: make([]float64, L+1), EL: make([]float64, L)}
+	if cap(s.VL) < L+1 {
+		s.VL = make([]float64, L+1)
+		s.EL = make([]float64, L)
+	}
+	s.VL = s.VL[:L+1]
+	s.EL = s.EL[:L]
 	s.VL[0] = float64(len(mb.Blocks[0].Src))
 	for l := 0; l < L; l++ {
 		s.VL[l+1] = float64(len(mb.Blocks[l].Dst))
 		s.EL[l] = float64(mb.Blocks[l].NumEdges())
 	}
-	return s
+	return *s
 }
 
 // runTrainer executes one trainer's share through its device backend:

@@ -26,7 +26,9 @@ type Trainer interface {
 	// holds the gathered (and, for accelerators, transferred) input
 	// features. The returned gradients are the replica's mean gradient,
 	// unscaled; PropSec is the virtual propagation time charged for the
-	// step, including the device's runtime overheads.
+	// step, including the device's runtime overheads. The result is owned
+	// by the trainer's scratch and valid until its next Step — the
+	// coordinator consumes it within the iteration.
 	Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult, error)
 }
 
@@ -51,6 +53,8 @@ type stepScratch struct {
 	ws    *tensor.Workspace
 	st    gnn.ForwardState
 	grads *gnn.Gradients
+	sizes perfmodel.Sizes // reused mini-batch size vectors for pricing
+	res   StepResult      // reused result; valid until the next Step
 }
 
 // step runs one allocation-free training step of m over the scratch. The
@@ -106,10 +110,11 @@ func (t *cpuTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult,
 	if !e.cfg.Hybrid {
 		share = 1 // CPU-only platform fallback
 	}
-	return &StepResult{
+	t.sc.res = StepResult{
 		Grads: grads, Loss: loss, Acc: acc,
-		PropSec: e.pm.PropWithOverheads(e.cfg.Plat.CPU, actualSizes(mb), share),
-	}, nil
+		PropSec: e.pm.PropWithOverheads(e.cfg.Plat.CPU, sizesInto(&t.sc.sizes, mb), share),
+	}
+	return &t.sc.res, nil
 }
 
 // accelTrainer is the generic accelerator backend (the paper's GPU path):
@@ -129,10 +134,11 @@ func (t *accelTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResul
 	if err != nil {
 		return nil, err
 	}
-	return &StepResult{
+	t.sc.res = StepResult{
 		Grads: grads, Loss: loss, Acc: acc,
-		PropSec: t.e.pm.PropWithOverheads(t.dev, actualSizes(mb), 1),
-	}, nil
+		PropSec: t.e.pm.PropWithOverheads(t.dev, sizesInto(&t.sc.sizes, mb), 1),
+	}
+	return &t.sc.res, nil
 }
 
 // fpgaTrainer drives the paper's §IV-C hardware dataflow (Fig. 6): the
@@ -167,11 +173,12 @@ func (t *fpgaTrainer) Step(mb *sampler.MiniBatch, x *tensor.Matrix) (*StepResult
 	if err != nil {
 		return nil, err
 	}
-	sz := actualSizes(mb)
+	sz := sizesInto(&t.sc.sizes, mb)
 	prop := stats.Sec + e.pm.PropBackwardFor(t.dev, sz, 1)
-	return &StepResult{
+	t.sc.res = StepResult{
 		Grads: grads, Loss: loss, Acc: acc,
 		PropSec: perfmodel.DeviceOverheads(t.dev, prop),
 		FPGA:    stats,
-	}, nil
+	}
+	return &t.sc.res, nil
 }

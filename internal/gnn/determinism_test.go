@@ -38,3 +38,42 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 		}
 	}
 }
+
+// The SIMD mirror of the test above: generic, SSE and AVX2 (where the CPU
+// has them) must produce the same training trajectory bit for bit — the
+// kernels keep multiply and add unfused exactly so this holds.
+func TestDeterminismAcrossSIMDLevels(t *testing.T) {
+	run := func(lvl tensor.SIMDLevel) *Parameters {
+		prev, err := tensor.SetSIMDLevel(lvl)
+		if err != nil {
+			t.Fatalf("SetSIMDLevel(%v): %v", lvl, err)
+		}
+		defer tensor.SetSIMDLevel(prev)
+		dims := []int{8, 16, 5}
+		fx := makeFixture(t, dims, 32, 77)
+		m, err := NewModel(Config{Kind: SAGE, Dims: dims}, tensor.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			g, _, _, err := m.TrainStep(fx.mb, fx.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := range m.Params.Weights {
+				tensor.Axpy(m.Params.Weights[l], -0.1, g.Weights[l])
+				tensor.Axpy(m.Params.Biases[l], -0.1, g.Biases[l])
+			}
+		}
+		return m.Params
+	}
+	ref := run(tensor.SIMDGeneric)
+	for lvl := tensor.SIMDSSE; lvl <= tensor.DetectedSIMDLevel(); lvl++ {
+		p := run(lvl)
+		for l := range ref.Weights {
+			if !ref.Weights[l].Equal(p.Weights[l]) || !ref.Biases[l].Equal(p.Biases[l]) {
+				t.Fatalf("layer %d: SIMD level %v changed the training trajectory", l, lvl)
+			}
+		}
+	}
+}

@@ -66,6 +66,15 @@ func (nb *Neighborhood) init(cfg Config, b *sampler.Block, ws *tensor.Workspace)
 // NumDst returns the number of destination vertices.
 func (nb *Neighborhood) NumDst() int { return len(nb.Block.Dst) }
 
+// Reset invalidates the lazily built transposed contribution list. init does
+// this on every (re-)bind, but a caller that mutates the *current* block in
+// place — serving paths that re-sample into retained Block storage across
+// epochs — must call Reset before the next AggregateBackward, or the
+// parallel gather would read a transpose of the previous graph.
+func (nb *Neighborhood) Reset() {
+	nb.tPtr, nb.tDst, nb.tW = nil, nil, nil
+}
+
 // Aggregate computes the weighted neighbor sum for every destination:
 // out[d] = SelfW[d]·h[d] + Σ_e EdgeW[e]·h[Col[e]]. out is |Dst| × h.Cols.
 // Destinations are independent, so the loop is row-parallel.
@@ -94,10 +103,9 @@ func aggregateRange(b *sampler.Block, edgeW, selfW []float32, out *tensor.Matrix
 	for d := lo; d < hi; d++ {
 		orow := out.Row(d)[colOff : colOff+cols]
 		if w := selfW[d]; w != 0 {
-			hrow := h.Row(d) // Dst is a prefix of Src: local index d is the self row
-			for j := range orow {
-				orow[j] = w * hrow[j]
-			}
+			// Dst is a prefix of Src: local index d is the self row. The
+			// scale-initialise pass rides the same SIMD dispatch as AxpyRow.
+			tensor.ScaleRowInto(orow, h.Row(d), w)
 		} else {
 			for j := range orow {
 				orow[j] = 0

@@ -237,3 +237,62 @@ func TestEdgeWeightsIntoReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestNeighborhoodResetInvalidatesTranspose pins the invalidation contract
+// of the cached transposed contribution list: a caller that mutates the
+// bound block in place (serving paths re-sampling into retained Block
+// storage) must get a fresh transpose after Reset — and init must invalidate
+// on every re-bind — or the parallel backward would gather through the
+// previous graph's index.
+func TestNeighborhoodResetInvalidatesTranspose(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	cfg := Config{Kind: GCN, Dims: []int{5, 3}}
+	b := raggedBlock(rng, 12, 10, 5)
+	nb := NewNeighborhood(cfg, b)
+
+	cols := 7
+	dAgg := tensor.New(len(b.Dst), cols)
+	tensor.NormalInit(dAgg, 1, rng)
+
+	prev := tensor.SetParallelism(4)
+	defer tensor.SetParallelism(prev)
+
+	// First backward builds and caches the transpose.
+	got := tensor.New(len(b.Src), cols)
+	nb.AggregateBackward(got, dAgg)
+
+	// Mutate the block in place: rewire every destination's first edge to
+	// source 0. Without invalidation the cached transpose still scatters to
+	// the old sources.
+	for d := 0; d < len(b.Dst); d++ {
+		if b.RowPtr[d+1] > b.RowPtr[d] {
+			b.Col[b.RowPtr[d]] = 0
+		}
+	}
+	// Coefficients depend only on shape for GCN's degree normalisation —
+	// recompute them the way a re-binding caller would.
+	nb.EdgeW, nb.SelfW = EdgeWeights(cfg, b)
+
+	nb.Reset()
+	got2 := tensor.New(len(b.Src), cols)
+	nb.AggregateBackward(got2, dAgg)
+
+	want := tensor.New(len(b.Src), cols)
+	NewNeighborhood(cfg, b).AggregateBackwardSerial(want, dAgg)
+	if !got2.Equal(want) {
+		t.Fatalf("after Reset the parallel backward still used the stale transpose (max diff %g)",
+			got2.MaxAbsDiff(want))
+	}
+
+	// And init (the ForwardState re-bind path) must invalidate too.
+	nb.AggregateBackward(tensor.New(len(b.Src), cols), dAgg) // re-cache
+	b2 := raggedBlock(rng, 12, 10, 5)
+	nb.init(cfg, b2, nil)
+	got3 := tensor.New(len(b2.Src), cols)
+	nb.AggregateBackward(got3, dAgg)
+	want3 := tensor.New(len(b2.Src), cols)
+	NewNeighborhood(cfg, b2).AggregateBackwardSerial(want3, dAgg)
+	if !got3.Equal(want3) {
+		t.Fatal("init re-bind did not invalidate the cached transpose")
+	}
+}

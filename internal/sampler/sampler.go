@@ -131,6 +131,21 @@ type Sampler struct {
 	G       *graph.Graph
 	Fanouts []int
 	Labels  []int32
+
+	// SampleInto's reusable lookup state (built lazily on first use). The
+	// global→local vertex map is a pair of O(|V|) arrays stamped with a
+	// per-layer generation instead of the per-call map Sample allocates:
+	// visited[v] == gen marks v as present in the current layer with local
+	// index local[v]. Bumping gen invalidates every entry in O(1); on the
+	// (once per 4 billion layers) wrap the stamps are cleared. A Sampler
+	// whose SampleInto is used is therefore NOT safe for concurrent
+	// sampling — concurrent paths (serving worker fleets) either use the
+	// allocating Sample or own a Sampler each, mirroring the Workspace
+	// arena's ownership discipline.
+	gen     uint32
+	visited []uint32
+	local   []int32
+	scratch []int32 // reservoir buffer, sized max(Fanouts)
 }
 
 // New creates a sampler. Fanouts must be non-negative; 0 means "no sampling,
@@ -214,7 +229,112 @@ func (s *Sampler) sampleLayer(frontier []int32, fanout int, rng *tensor.RNG) *Bl
 	return &Block{Src: src, Dst: dst, RowPtr: rowPtr, Col: col}
 }
 
-// sampleWithoutReplacement returns min(len(nbrs), k) distinct elements of
+// SampleInto is Sample into caller-retained storage: the mini-batch's
+// blocks, targets and labels are rebuilt in place, reusing their backing
+// arrays, so a warm sampler+batch pair samples with zero allocations. The
+// rng consumption is identical to Sample — given the same rng state both
+// produce bitwise-identical mini-batches — so trajectories recorded with
+// one are reproducible with the other. mb must not be in use elsewhere
+// (the serving pipeline and the training engine each retain their own).
+// Not safe for concurrent use; see the Sampler field docs.
+func (s *Sampler) SampleInto(mb *MiniBatch, targets []int32, rng *tensor.RNG) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("sampler: empty target set")
+	}
+	for _, v := range targets {
+		if v < 0 || int(v) >= s.G.NumVertices {
+			return fmt.Errorf("sampler: target %d out of range", v)
+		}
+	}
+	s.ensureScratch()
+	L := len(s.Fanouts)
+	for len(mb.Blocks) < L {
+		mb.Blocks = append(mb.Blocks, &Block{})
+	}
+	mb.Blocks = mb.Blocks[:L]
+	for l, b := range mb.Blocks {
+		if b == nil {
+			mb.Blocks[l] = &Block{}
+		}
+	}
+	// Self-append is safe here even when targets aliases mb.Targets.
+	mb.Targets = append(mb.Targets[:0], targets...)
+	frontier := mb.Targets
+	for l := L - 1; l >= 0; l-- {
+		s.sampleLayerInto(mb.Blocks[l], frontier, s.Fanouts[l], rng)
+		frontier = mb.Blocks[l].Src
+	}
+	mb.Labels = mb.Labels[:0]
+	if s.Labels != nil {
+		for _, v := range targets {
+			mb.Labels = append(mb.Labels, s.Labels[v])
+		}
+	}
+	return nil
+}
+
+// ensureScratch lazily builds the O(|V|) lookup arrays and the reservoir
+// buffer SampleInto needs.
+func (s *Sampler) ensureScratch() {
+	if s.visited == nil {
+		s.visited = make([]uint32, s.G.NumVertices)
+		s.local = make([]int32, s.G.NumVertices)
+	}
+	maxF := 0
+	for _, f := range s.Fanouts {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if len(s.scratch) < maxF {
+		s.scratch = make([]int32, maxF)
+	}
+}
+
+// sampleLayerInto is sampleLayer into reused block storage, with the
+// per-layer map replaced by the sampler's generation-stamped arrays. The
+// iteration order — and so the rng draw order and the local index
+// assignment (last write wins for duplicate destinations, first
+// occurrence wins for shared sources) — matches sampleLayer exactly.
+func (s *Sampler) sampleLayerInto(blk *Block, frontier []int32, fanout int, rng *tensor.RNG) {
+	nDst := len(frontier)
+	blk.Src = append(blk.Src[:0], frontier...)
+	s.gen++
+	if s.gen == 0 { // stamp wrap: clear and restart at 1
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.gen = 1
+	}
+	for i, v := range frontier {
+		s.visited[v] = s.gen
+		s.local[v] = int32(i)
+	}
+	blk.RowPtr = append(blk.RowPtr[:0], 0)
+	blk.Col = blk.Col[:0]
+	for _, v := range frontier {
+		nbrs := s.G.Neighbors(v)
+		chosen := nbrs // fanout 0: exact neighborhood, no sampling
+		if fanout > 0 {
+			chosen = sampleWithoutReplacement(nbrs, fanout, s.scratch[:fanout], rng)
+		}
+		for _, u := range chosen {
+			li := s.local[u]
+			if s.visited[u] != s.gen {
+				li = int32(len(blk.Src))
+				blk.Src = append(blk.Src, u)
+				s.visited[u] = s.gen
+				s.local[u] = li
+			}
+			blk.Col = append(blk.Col, li)
+		}
+		blk.RowPtr = append(blk.RowPtr, int32(len(blk.Col)))
+	}
+	// Src may have been reallocated by the appends above; derive the Dst
+	// prefix only now that it is final.
+	blk.Dst = blk.Src[:nDst]
+}
+
 // nbrs chosen uniformly. When len(nbrs) > k it uses reservoir sampling into
 // scratch (len ≥ k) to avoid copying the full neighbor list.
 func sampleWithoutReplacement(nbrs []int32, k int, scratch []int32, rng *tensor.RNG) []int32 {

@@ -2,12 +2,13 @@ package tensor
 
 // Row-update primitives: the innermost loops of every GEMM and aggregation
 // kernel in this package are "c += a·b" row updates over contiguous
-// float32 slices. On amd64 they dispatch to SSE assembly (4 lanes, the
-// architecture baseline — no feature detection needed) with multiply and add
-// kept as separate instructions: fusing them (FMA) would change rounding and
-// break the bit-exact equivalence with the reference kernels that the
-// property tests pin down. Vectorising across the row (j) never reorders the
-// per-element accumulation over k, so SIMD here is exactness-preserving.
+// float32 slices. On amd64 they dispatch through the runtime SIMD level
+// (simd.go) to AVX2 (8 lanes) or SSE (4 lanes, the architecture baseline)
+// assembly, with multiply and add kept as separate instructions: fusing them
+// (FMA) would change rounding and break the bit-exact equivalence with the
+// reference kernels that the property tests pin down. Vectorising across the
+// row (j) never reorders the per-element accumulation over k, so SIMD here
+// is exactness-preserving at every level.
 
 // AxpyRow computes dst[j] += alpha·src[j] over len(src) elements (dst must
 // be at least as long). It is the shared inner loop of the dense kernels and
@@ -17,7 +18,11 @@ func AxpyRow(dst, src []float32, alpha float32) {
 	n := len(src)
 	dst = dst[:n]
 	q := 0
-	if haveAxpyAsm && n >= 16 {
+	switch {
+	case haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2):
+		q = n &^ 7
+		axpyRowAVX2Asm(dst[:q], src[:q], alpha)
+	case haveAxpyAsm && n >= 16 && simdAtLeast(SIMDSSE):
 		q = n &^ 15
 		axpyRowAsm(dst[:q], src[:q], alpha)
 	}
@@ -32,9 +37,15 @@ func axpyRow4(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32) {
 	n := len(b)
 	c0, c1, c2, c3 = c0[:n], c1[:n], c2[:n], c3[:n]
 	q := 0
-	if haveAxpyAsm && n >= 8 {
-		q = n &^ 7
-		axpyRow4Asm(c0[:q], c1[:q], c2[:q], c3[:q], b[:q], a0, a1, a2, a3)
+	if n >= 8 {
+		switch {
+		case haveAVX2Asm && simdAtLeast(SIMDAVX2):
+			q = n &^ 7
+			axpyRow4AVX2Asm(c0[:q], c1[:q], c2[:q], c3[:q], b[:q], a0, a1, a2, a3)
+		case haveAxpyAsm && simdAtLeast(SIMDSSE):
+			q = n &^ 7
+			axpyRow4Asm(c0[:q], c1[:q], c2[:q], c3[:q], b[:q], a0, a1, a2, a3)
+		}
 	}
 	for j := q; j < n; j++ {
 		bv := b[j]
@@ -43,4 +54,45 @@ func axpyRow4(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32) {
 		c2[j] += a2 * bv
 		c3[j] += a3 * bv
 	}
+}
+
+// AxpyRow4 is the exported form of axpyRow4 — the four-row register tile
+// with the highest flop:byte ratio in the package (8 flops per element of
+// b, five rows hot). The bench roofline harness uses it over L1-resident
+// rows as the machine's achievable FMA-free peak-FLOPS probe.
+func AxpyRow4(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32) {
+	axpyRow4(c0, c1, c2, c3, b, a0, a1, a2, a3)
+}
+
+// ScaleRowInto computes dst[j] = s·src[j] over len(src) elements — the
+// scale-initialise pass of the gnn aggregation kernel (out = SelfW·h before
+// the neighbor AxpyRows accumulate on top), exported for the same reason as
+// AxpyRow.
+func ScaleRowInto(dst, src []float32, s float32) {
+	n := len(src)
+	dst = dst[:n]
+	q := 0
+	if haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2) {
+		q = n &^ 7
+		scaleRowAVX2Asm(dst[:q], src[:q], s)
+	}
+	for j := q; j < n; j++ {
+		dst[j] = s * src[j]
+	}
+}
+
+// copyRow copies src into dst (dst at least as long): the row-gather inner
+// loop. The AVX2 form exists so a forced generic/sse level still measures
+// honestly against memmove (copy), which the lower levels use.
+func copyRow(dst, src []float32) {
+	n := len(src)
+	if haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2) {
+		q := n &^ 7
+		copyRowAVX2Asm(dst[:q], src[:q])
+		if q < n {
+			copy(dst[q:n], src[q:])
+		}
+		return
+	}
+	copy(dst[:n], src)
 }

@@ -3,7 +3,9 @@
 package tensor
 
 // SSE row-update kernels (axpy_amd64.s). SSE is part of the amd64 baseline,
-// so no runtime feature detection is needed.
+// so these are always safe to call; whether they (or the AVX2 forms in
+// axpy_avx2_amd64.s, which do need runtime detection — see simd_amd64.go)
+// actually run is decided by the dispatch level in simd.go.
 const haveAxpyAsm = true
 
 // axpyRowAsm computes dst[j] += alpha·src[j]. len(dst) == len(src), a

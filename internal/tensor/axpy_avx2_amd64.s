@@ -1,0 +1,280 @@
+// AVX2 row-update and fused element-wise kernels. As in the SSE file,
+// multiply and add are deliberately separate instructions (VMULPS + VADDPS,
+// never FMA): a fused multiply-add rounds once where the reference kernels
+// round twice, and the exact-equality property tests require bit-identical
+// results across every dispatch level. Lanes span independent output
+// elements only, so no element's accumulation order changes. Every routine
+// ends with VZEROUPPER to avoid AVX→SSE transition stalls in the scalar
+// tails that follow.
+//
+// All lengths are positive multiples of 8, guaranteed by the Go wrappers.
+
+#include "textflag.h"
+
+// func axpyRowAVX2Asm(dst, src []float32, alpha float32)
+// dst[j] += alpha*src[j].
+TEXT ·axpyRowAVX2Asm(SB), NOSPLIT, $0-52
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         src_base+24(FP), SI
+	MOVQ         src_len+32(FP), CX
+	VBROADCASTSS alpha+48(FP), Y0
+
+	CMPQ CX, $32
+	JL   loop8
+
+loop32:
+	VMOVUPS (SI), Y1
+	VMOVUPS 32(SI), Y2
+	VMOVUPS 64(SI), Y3
+	VMOVUPS 96(SI), Y4
+	VMULPS  Y0, Y1, Y1
+	VMULPS  Y0, Y2, Y2
+	VMULPS  Y0, Y3, Y3
+	VMULPS  Y0, Y4, Y4
+	VADDPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	VADDPS  32(DI), Y2, Y2
+	VMOVUPS Y2, 32(DI)
+	VADDPS  64(DI), Y3, Y3
+	VMOVUPS Y3, 64(DI)
+	VADDPS  96(DI), Y4, Y4
+	VMOVUPS Y4, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $32, CX
+	CMPQ    CX, $32
+	JGE     loop32
+
+	TESTQ CX, CX
+	JZ    done
+
+loop8:
+	VMOVUPS (SI), Y1
+	VMULPS  Y0, Y1, Y1
+	VADDPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JG      loop8
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpyRow4AVX2Asm(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32)
+// c0..c3[j] += a0..a3*b[j]: the 4-row register tile of the blocked GEMMs,
+// one load of b shared by four row updates.
+TEXT ·axpyRow4AVX2Asm(SB), NOSPLIT, $0-136
+	MOVQ         c0_base+0(FP), DI
+	MOVQ         c1_base+24(FP), R8
+	MOVQ         c2_base+48(FP), R9
+	MOVQ         c3_base+72(FP), R10
+	MOVQ         b_base+96(FP), SI
+	MOVQ         b_len+104(FP), CX
+	VBROADCASTSS a0+120(FP), Y0
+	VBROADCASTSS a1+124(FP), Y1
+	VBROADCASTSS a2+128(FP), Y2
+	VBROADCASTSS a3+132(FP), Y3
+
+loop8:
+	VMOVUPS (SI), Y4
+
+	VMULPS  Y0, Y4, Y5
+	VADDPS  (DI), Y5, Y5
+	VMOVUPS Y5, (DI)
+
+	VMULPS  Y1, Y4, Y5
+	VADDPS  (R8), Y5, Y5
+	VMOVUPS Y5, (R8)
+
+	VMULPS  Y2, Y4, Y5
+	VADDPS  (R9), Y5, Y5
+	VMOVUPS Y5, (R9)
+
+	VMULPS  Y3, Y4, Y5
+	VADDPS  (R10), Y5, Y5
+	VMOVUPS Y5, (R10)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	SUBQ $8, CX
+	JG   loop8
+
+	VZEROUPPER
+	RET
+
+// func scaleRowAVX2Asm(dst, src []float32, s float32)
+// dst[j] = s*src[j]: the aggregation kernel's scale-initialise pass.
+TEXT ·scaleRowAVX2Asm(SB), NOSPLIT, $0-52
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         src_base+24(FP), SI
+	MOVQ         src_len+32(FP), CX
+	VBROADCASTSS s+48(FP), Y0
+
+loop8:
+	VMOVUPS (SI), Y1
+	VMULPS  Y0, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JG      loop8
+
+	VZEROUPPER
+	RET
+
+// func addBiasReLUAVX2Asm(row, bias, mask []float32)
+// v = row[j]+bias[j]; row[j] = v>0 ? v : 0; mask[j] = v>0 ? 1 : 0.
+// The mask is VCMPPS (ordered greater-than) AND'ed with the value and with
+// a broadcast 1.0 — not VMAXPS — so v = -0.0 and v = NaN land exactly where
+// the scalar branch puts them (+0.0, mask 0).
+TEXT ·addBiasReLUAVX2Asm(SB), NOSPLIT, $0-72
+	MOVQ row_base+0(FP), DI
+	MOVQ bias_base+24(FP), SI
+	MOVQ mask_base+48(FP), DX
+	MOVQ row_len+8(FP), CX
+
+	VXORPS   Y0, Y0, Y0  // 0.0
+	VPCMPEQD Y1, Y1, Y1  // all ones →
+	VPSRLD   $25, Y1, Y1 // 0x0000007F per lane →
+	VPSLLD   $23, Y1, Y1 // 0x3F800000 = 1.0f per lane
+
+loop8:
+	VMOVUPS (DI), Y2
+	VADDPS  (SI), Y2, Y2       // v = row + bias
+	VCMPPS  $0x1E, Y0, Y2, Y3  // mask bits: v > 0 (GT_OQ)
+	VANDPS  Y3, Y2, Y4         // v where positive, else +0.0
+	VMOVUPS Y4, (DI)
+	VANDPS  Y3, Y1, Y4         // 1.0 where positive, else 0.0
+	VMOVUPS Y4, (DX)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	SUBQ    $8, CX
+	JG      loop8
+
+	VZEROUPPER
+	RET
+
+// func reluMaskAVX2Asm(data, mask []float32)
+// data[j] = relu(data[j]); mask[j] = 1 where positive, else 0. Same masking
+// scheme as addBiasReLUAVX2Asm.
+TEXT ·reluMaskAVX2Asm(SB), NOSPLIT, $0-48
+	MOVQ data_base+0(FP), DI
+	MOVQ mask_base+24(FP), DX
+	MOVQ data_len+8(FP), CX
+
+	VXORPS   Y0, Y0, Y0  // 0.0
+	VPCMPEQD Y1, Y1, Y1  // 1.0f per lane, as in addBiasReLUAVX2Asm
+	VPSRLD   $25, Y1, Y1
+	VPSLLD   $23, Y1, Y1
+
+loop8:
+	VMOVUPS (DI), Y2
+	VCMPPS  $0x1E, Y0, Y2, Y3
+	VANDPS  Y3, Y2, Y4
+	VMOVUPS Y4, (DI)
+	VANDPS  Y3, Y1, Y4
+	VMOVUPS Y4, (DX)
+	ADDQ    $32, DI
+	ADDQ    $32, DX
+	SUBQ    $8, CX
+	JG      loop8
+
+	VZEROUPPER
+	RET
+
+// func copyRowAVX2Asm(dst, src []float32)
+// dst[j] = src[j]: the row-gather copy.
+TEXT ·copyRowAVX2Asm(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+
+	CMPQ CX, $32
+	JL   loop8
+
+loop32:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $32, CX
+	CMPQ    CX, $32
+	JGE     loop32
+
+	TESTQ CX, CX
+	JZ    done
+
+loop8:
+	VMOVUPS (SI), Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JG      loop8
+
+done:
+	VZEROUPPER
+	RET
+
+// func rowMaxAVX2Asm(src []float32) float32
+// Returns max(src). Selection, not arithmetic: the maximum *value* is
+// order-independent, and the Go wrapper canonicalises the returned bit
+// pattern by re-reading the first row element that compares equal, so the
+// -0.0/+0.0 tie-breaking of VMAXPS never leaks into results.
+TEXT ·rowMaxAVX2Asm(SB), NOSPLIT, $0-28
+	MOVQ src_base+0(FP), SI
+	MOVQ src_len+8(FP), CX
+
+	VMOVUPS (SI), Y0
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JZ      reduce
+
+loop8:
+	VMAXPS  (SI), Y0, Y0
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JG      loop8
+
+reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS       X1, X0, X0
+	VPERMILPS    $0x0E, X0, X1  // lanes 2,3 → 0,1
+	VMAXPS       X1, X0, X0
+	VPERMILPS    $0x01, X0, X1  // lane 1 → 0
+	VMAXPS       X1, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+24(FP)
+	RET
+
+// func subScalarAVX2Asm(dst, src []float32, s float32)
+// dst[j] = src[j] - s: the softmax shift pass.
+TEXT ·subScalarAVX2Asm(SB), NOSPLIT, $0-52
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         src_base+24(FP), SI
+	MOVQ         src_len+32(FP), CX
+	VBROADCASTSS s+48(FP), Y0
+
+loop8:
+	VMOVUPS (SI), Y1
+	VSUBPS  Y0, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JG      loop8
+
+	VZEROUPPER
+	RET

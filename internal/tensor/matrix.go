@@ -3,11 +3,14 @@
 // element-wise and fused operations, activations, loss functions, and the
 // Workspace arena behind the zero-allocation training/serving hot paths.
 //
-// Kernels are stdlib-only Go, with the innermost row updates in SSE
-// assembly on amd64 (axpy_amd64.s; a pure-Go fallback serves other
-// architectures). Parallel kernels split work across goroutines by row
-// blocks; the degree of parallelism is controlled by SetParallelism and
-// defaults to runtime.NumCPU().
+// Kernels are stdlib-only Go, with the innermost row updates in SIMD
+// assembly on amd64, dispatched at runtime between AVX2 (8 lanes) and the
+// SSE baseline (axpy_avx2_amd64.s, axpy_amd64.s; a pure-Go fallback serves
+// other architectures). Every dispatch level is bit-identical — see simd.go
+// for detection and the SetSIMDLevel/TENSOR_SIMD overrides. Parallel
+// kernels split work across goroutines by row blocks; the degree of
+// parallelism is controlled by SetParallelism and defaults to
+// runtime.NumCPU().
 package tensor
 
 import (

@@ -89,12 +89,26 @@ func ReLUInto(m, mask *Matrix) {
 		panic("tensor: ReLUInto mask shape mismatch")
 	}
 	md := mask.Data[:len(m.Data)]
-	for i, v := range m.Data {
+	n := len(m.Data)
+	q := 0
+	if haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2) {
+		// The matrix is contiguous, so the whole tensor is one flat pass.
+		q = n &^ 7
+		reluMaskAVX2Asm(m.Data[:q], md[:q])
+	}
+	reluMaskScalar(m.Data[q:], md[q:])
+}
+
+// reluMaskScalar is the scalar ReLU+mask loop, shared by the generic path
+// and the AVX2 tail. The AVX2 kernel mirrors this branch exactly (compare,
+// then AND): v = -0.0 and v = NaN write +0.0 with mask 0 on both paths.
+func reluMaskScalar(data, mask []float32) {
+	for i, v := range data {
 		if v > 0 {
-			md[i] = 1
+			mask[i] = 1
 		} else {
-			m.Data[i] = 0
-			md[i] = 0
+			data[i] = 0
+			mask[i] = 0
 		}
 	}
 }
@@ -120,11 +134,19 @@ func AddBiasReLU(m, bias, mask *Matrix) {
 
 func addBiasReLURange(m, bias, mask *Matrix, lo, hi int) {
 	bd := bias.Data
+	n := len(bd)
+	q := 0
+	if haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2) {
+		q = n &^ 7
+	}
 	for i := lo; i < hi; i++ {
 		row := m.Row(i)
 		mrow := mask.Row(i)[:len(row)]
-		for j, bv := range bd {
-			v := row[j] + bv
+		if q > 0 {
+			addBiasReLUAVX2Asm(row[:q], bd[:q], mrow[:q])
+		}
+		for j := q; j < n; j++ {
+			v := row[j] + bd[j]
 			if v > 0 {
 				row[j] = v
 				mrow[j] = 1
@@ -166,30 +188,29 @@ func SoftmaxCrossEntropy(grad, logits *Matrix, labels []int32) (loss float64, co
 	for i := 0; i < n; i++ {
 		row := logits.Row(i)
 		grow := grad.Row(i)
-		// Numerically stable softmax.
-		maxv := row[0]
-		argmax := 0
-		for j, v := range row {
-			if v > maxv {
-				maxv = v
-				argmax = j
-			}
-		}
+		// Numerically stable softmax. The row max and the shift go through
+		// SIMD (selection and a single float32 subtract are exact at any
+		// width); exp and the float64 sum/log stay scalar.
+		maxv, argmax := rowMax(row)
+		// Stage the shifted logits v−maxv into the grad row: it is scratch
+		// until the final pass overwrites it in place, so the wide shift
+		// costs no extra buffer.
+		subScalarInto(grow, row, maxv)
 		var sum float64
-		for _, v := range row {
-			sum += math.Exp(float64(v - maxv))
+		for _, v := range grow {
+			sum += math.Exp(float64(v))
 		}
 		logSum := math.Log(sum)
 		lbl := int(labels[i])
 		if lbl < 0 || lbl >= logits.Cols {
 			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", lbl, logits.Cols))
 		}
-		totalLoss += logSum - float64(row[lbl]-maxv)
+		totalLoss += logSum - float64(grow[lbl])
 		if argmax == lbl {
 			correct++
 		}
-		for j, v := range row {
-			p := float32(math.Exp(float64(v-maxv)) / sum)
+		for j, v := range grow {
+			p := float32(math.Exp(float64(v)) / sum)
 			if j == lbl {
 				p -= 1
 			}
@@ -197,6 +218,49 @@ func SoftmaxCrossEntropy(grad, logits *Matrix, labels []int32) (loss float64, co
 		}
 	}
 	return totalLoss / float64(n), correct
+}
+
+// rowMax returns the maximum of row (len ≥ 1) and the index of its first
+// occurrence — the argmax the scalar first-strict-improvement scan picks.
+// The SIMD reduction only finds the maximum *value* (order-independent); the
+// index scan then re-reads row[argmax] so the returned bit pattern is the
+// element the scalar loop would have kept (VMAXPS's -0.0/+0.0 tie-breaking
+// never leaks out).
+func rowMax(row []float32) (maxv float32, argmax int) {
+	n := len(row)
+	maxv = row[0]
+	q := 0
+	if haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2) {
+		q = n &^ 7
+		maxv = rowMaxAVX2Asm(row[:q])
+	}
+	for _, v := range row[q:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	for j, v := range row {
+		if v == maxv {
+			return row[j], j
+		}
+	}
+	// Unreachable for any row that contains its own maximum; NaN-only rows
+	// fall back to the scalar semantics (keep element 0).
+	return maxv, 0
+}
+
+// subScalarInto computes dst[j] = src[j] − s over len(src) elements.
+func subScalarInto(dst, src []float32, s float32) {
+	n := len(src)
+	dst = dst[:n]
+	q := 0
+	if haveAVX2Asm && n >= 8 && simdAtLeast(SIMDAVX2) {
+		q = n &^ 7
+		subScalarAVX2Asm(dst[:q], src[:q], s)
+	}
+	for j := q; j < n; j++ {
+		dst[j] = src[j] - s
+	}
 }
 
 // ConcatCols writes [a | b] into dst. dst must be r×(a.Cols+b.Cols).
@@ -238,7 +302,7 @@ func GatherRows(dst, src *Matrix, idx []int32) {
 
 func gatherRowsRange(dst, src *Matrix, idx []int32, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		copy(dst.Row(i), src.Row(int(idx[i])))
+		copyRow(dst.Row(i), src.Row(int(idx[i])))
 	}
 }
 
@@ -260,7 +324,7 @@ func GatherRowsAt(dst *Matrix, dstCol int, src *Matrix, idx []int32) {
 func gatherRowsAtRange(dst *Matrix, dstCol int, src *Matrix, idx []int32, lo, hi int) {
 	w := src.Cols
 	for i := lo; i < hi; i++ {
-		copy(dst.Row(i)[dstCol:dstCol+w], src.Row(int(idx[i])))
+		copyRow(dst.Row(i)[dstCol:dstCol+w], src.Row(int(idx[i])))
 	}
 }
 

@@ -1,0 +1,93 @@
+//go:build amd64
+
+package tensor
+
+// CPU feature detection and the AVX2 kernel declarations for amd64. The
+// probe is hand-rolled CPUID/XGETBV assembly (simd_amd64.s) rather than a
+// dependency: AVX2 is usable only when the CPU advertises it (leaf 7 EBX bit
+// 5), the AVX foundation is present (leaf 1 ECX bit 28), and the OS has
+// enabled XMM+YMM state saving (OSXSAVE + XCR0 bits 1–2) — the standard
+// three-step check.
+
+// haveAVX2Asm gates compilation of AVX2 call sites; whether the calls are
+// *taken* is the runtime level's job (the active level can only reach
+// SIMDAVX2 when detection succeeded).
+const haveAVX2Asm = true
+
+// cpuidAsm executes CPUID with the given leaf/subleaf.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbvAsm() (eax, edx uint32)
+
+// detectSIMD probes the CPU once at package init. SSE2 is part of the amd64
+// baseline, so SSE is the floor on this architecture.
+func detectSIMD() SIMDLevel {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return SIMDSSE
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return SIMDSSE
+	}
+	xcr0, _ := xgetbvAsm()
+	const ymmState = 0x6 // XMM (bit 1) + YMM (bit 2) enabled by the OS
+	if xcr0&ymmState != ymmState {
+		return SIMDSSE
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	if ebx7&avx2Bit == 0 {
+		return SIMDSSE
+	}
+	return SIMDAVX2
+}
+
+// AVX2 kernels (axpy_avx2_amd64.s). All slice lengths are positive
+// multiples of 8, guaranteed by the wrappers; multiply and add stay unfused
+// for bit-identity with the scalar and SSE paths.
+
+// axpyRowAVX2Asm computes dst[j] += alpha·src[j].
+//
+//go:noescape
+func axpyRowAVX2Asm(dst, src []float32, alpha float32)
+
+// axpyRow4AVX2Asm computes c0..c3[j] += a0..a3·b[j].
+//
+//go:noescape
+func axpyRow4AVX2Asm(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32)
+
+// scaleRowAVX2Asm computes dst[j] = s·src[j].
+//
+//go:noescape
+func scaleRowAVX2Asm(dst, src []float32, s float32)
+
+// addBiasReLUAVX2Asm computes row[j] = relu(row[j]+bias[j]) and mask[j] =
+// 1 where the sum was positive, else 0 — the fused AddBiasReLU inner loop.
+//
+//go:noescape
+func addBiasReLUAVX2Asm(row, bias, mask []float32)
+
+// reluMaskAVX2Asm computes data[j] = relu(data[j]) and mask[j] = 1 where the
+// input was positive, else 0 — the ReLUInto inner loop.
+//
+//go:noescape
+func reluMaskAVX2Asm(data, mask []float32)
+
+// copyRowAVX2Asm copies src into dst.
+//
+//go:noescape
+func copyRowAVX2Asm(dst, src []float32)
+
+// rowMaxAVX2Asm returns the maximum element of src (len ≥ 8, multiple of 8).
+//
+//go:noescape
+func rowMaxAVX2Asm(src []float32) float32
+
+// subScalarAVX2Asm computes dst[j] = src[j] − s.
+//
+//go:noescape
+func subScalarAVX2Asm(dst, src []float32, s float32)

@@ -1,0 +1,42 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no SIMD kernels: the ceiling is the pure-Go level
+// and the stubs below are unreachable (haveAVX2Asm = false dead-codes every
+// call site).
+const haveAVX2Asm = false
+
+func detectSIMD() SIMDLevel { return SIMDGeneric }
+
+func axpyRowAVX2Asm(dst, src []float32, alpha float32) {
+	panic("tensor: axpyRowAVX2Asm without assembly support")
+}
+
+func axpyRow4AVX2Asm(c0, c1, c2, c3, b []float32, a0, a1, a2, a3 float32) {
+	panic("tensor: axpyRow4AVX2Asm without assembly support")
+}
+
+func scaleRowAVX2Asm(dst, src []float32, s float32) {
+	panic("tensor: scaleRowAVX2Asm without assembly support")
+}
+
+func addBiasReLUAVX2Asm(row, bias, mask []float32) {
+	panic("tensor: addBiasReLUAVX2Asm without assembly support")
+}
+
+func reluMaskAVX2Asm(data, mask []float32) {
+	panic("tensor: reluMaskAVX2Asm without assembly support")
+}
+
+func copyRowAVX2Asm(dst, src []float32) {
+	panic("tensor: copyRowAVX2Asm without assembly support")
+}
+
+func rowMaxAVX2Asm(src []float32) float32 {
+	panic("tensor: rowMaxAVX2Asm without assembly support")
+}
+
+func subScalarAVX2Asm(dst, src []float32, s float32) {
+	panic("tensor: subScalarAVX2Asm without assembly support")
+}

@@ -1,0 +1,379 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// withSIMD runs fn at a forced dispatch level, restoring the previous level
+// afterwards. Kernel parallelism is pinned to 1 so the comparison isolates
+// the SIMD path (the cross-parallelism exactness is pinned elsewhere).
+func withSIMD(t *testing.T, l SIMDLevel, fn func()) {
+	t.Helper()
+	prev, err := SetSIMDLevel(l)
+	if err != nil {
+		t.Fatalf("SetSIMDLevel(%v): %v", l, err)
+	}
+	defer SetSIMDLevel(prev)
+	fn()
+}
+
+// availableLevels returns every dispatch level this CPU can execute,
+// generic first.
+func availableLevels() []SIMDLevel {
+	out := []SIMDLevel{SIMDGeneric}
+	for l := SIMDSSE; l <= DetectedSIMDLevel(); l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// ragged covers vector bodies plus scalar tails at every dispatch width:
+// below 8 (all-scalar everywhere), 8..15 (AVX2 body + SSE-scalar), exact
+// multiples, and wide-with-tail.
+var raggedLens = []int{1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 47, 64, 100, 128, 129, 255}
+
+func randSlice(rng *RNG, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestAxpyRowExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(11)
+	for _, n := range raggedLens {
+		src := randSlice(rng, n)
+		dst0 := randSlice(rng, n)
+		alpha := float32(rng.NormFloat64())
+		want := append([]float32(nil), dst0...)
+		for j := range want {
+			want[j] += alpha * src[j]
+		}
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				got := append([]float32(nil), dst0...)
+				AxpyRow(got, src, alpha)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("AxpyRow n=%d level=%v: got[%d]=%x want %x", n, l, j, got[j], want[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAxpyRow4ExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(12)
+	for _, n := range raggedLens {
+		b := randSlice(rng, n)
+		rows := [4][]float32{randSlice(rng, n), randSlice(rng, n), randSlice(rng, n), randSlice(rng, n)}
+		a := [4]float32{}
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+		}
+		want := [4][]float32{}
+		for i := range want {
+			want[i] = append([]float32(nil), rows[i]...)
+			for j := range want[i] {
+				want[i][j] += a[i] * b[j]
+			}
+		}
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				got := [4][]float32{}
+				for i := range got {
+					got[i] = append([]float32(nil), rows[i]...)
+				}
+				axpyRow4(got[0], got[1], got[2], got[3], b, a[0], a[1], a[2], a[3])
+				for i := range got {
+					for j := range got[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("axpyRow4 n=%d level=%v row %d: got[%d]=%x want %x", n, l, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestScaleRowIntoExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(13)
+	for _, n := range raggedLens {
+		src := randSlice(rng, n)
+		s := float32(rng.NormFloat64())
+		want := make([]float32, n)
+		for j := range want {
+			want[j] = s * src[j]
+		}
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				got := make([]float32, n)
+				ScaleRowInto(got, src, s)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("ScaleRowInto n=%d level=%v: got[%d]=%x want %x", n, l, j, got[j], want[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestCopyRowExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(14)
+	for _, n := range raggedLens {
+		src := randSlice(rng, n)
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				got := make([]float32, n)
+				copyRow(got, src)
+				for j := range src {
+					if got[j] != src[j] {
+						t.Fatalf("copyRow n=%d level=%v: got[%d]=%x want %x", n, l, j, got[j], src[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+// reluEdgeValues exercises the sign-boundary cases the AVX2 compare+AND
+// masking must reproduce exactly: negative zero stays a zero output with a
+// zero mask, as in the scalar branch.
+func reluEdgeValues(rng *RNG, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		switch i % 5 {
+		case 0:
+			s[i] = float32(rng.NormFloat64())
+		case 1:
+			s[i] = 0
+		case 2:
+			s[i] = float32(negZero())
+		case 3:
+			s[i] = -float32(rng.NormFloat64() * rng.NormFloat64())
+		default:
+			s[i] = float32(rng.NormFloat64() * 1e-3)
+		}
+	}
+	return s
+}
+
+func negZero() float64 { return -0.0 * 1.0 } // dodge constant folding to +0
+
+func TestReLUIntoExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(15)
+	for _, n := range raggedLens {
+		data := reluEdgeValues(rng, 3*n)
+		m0 := FromSlice(3, n, data)
+		var wantM, wantMask *Matrix
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				m := m0.Clone()
+				mask := New(3, n)
+				mask.Fill(7) // mask must be fully overwritten
+				ReLUInto(m, mask)
+				if wantM == nil {
+					wantM, wantMask = m, mask
+					return
+				}
+				if !m.Equal(wantM) || !mask.Equal(wantMask) {
+					t.Fatalf("ReLUInto n=%d level=%v diverges from generic", n, l)
+				}
+			})
+		}
+	}
+}
+
+func TestAddBiasReLUExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(16)
+	for _, n := range raggedLens {
+		m0 := FromSlice(4, n, reluEdgeValues(rng, 4*n))
+		bias := FromSlice(1, n, randSlice(rng, n))
+		var wantM, wantMask *Matrix
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				m := m0.Clone()
+				mask := New(4, n)
+				mask.Fill(7)
+				AddBiasReLU(m, bias, mask)
+				if wantM == nil {
+					wantM, wantMask = m, mask
+					return
+				}
+				if !m.Equal(wantM) || !mask.Equal(wantMask) {
+					t.Fatalf("AddBiasReLU n=%d level=%v diverges from generic", n, l)
+				}
+			})
+		}
+	}
+}
+
+func TestGatherRowsAtExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(17)
+	for _, n := range []int{1, 7, 8, 47, 100, 129} {
+		src := FromSlice(6, n, randSlice(rng, 6*n))
+		idx := []int32{5, 0, 3, 3, 1}
+		var want *Matrix
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				dst := New(len(idx), n+3)
+				GatherRowsAt(dst, 2, src, idx)
+				if want == nil {
+					want = dst
+					return
+				}
+				if !dst.Equal(want) {
+					t.Fatalf("GatherRowsAt n=%d level=%v diverges from generic", n, l)
+				}
+			})
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(18)
+	for _, n := range []int{2, 5, 7, 8, 9, 16, 47, 100} {
+		rows := 9
+		logits := FromSlice(rows, n, randSlice(rng, rows*n))
+		// Duplicate the max of one row so argmax tie-breaking is exercised.
+		logits.Set(2, 0, logits.At(2, n-1))
+		labels := make([]int32, rows)
+		for i := range labels {
+			labels[i] = int32(rng.Intn(n))
+		}
+		var wantLoss float64
+		var wantCorrect int
+		var wantGrad *Matrix
+		for _, l := range availableLevels() {
+			withSIMD(t, l, func() {
+				grad := New(rows, n)
+				loss, correct := SoftmaxCrossEntropy(grad, logits, labels)
+				if wantGrad == nil {
+					wantLoss, wantCorrect, wantGrad = loss, correct, grad
+					return
+				}
+				if loss != wantLoss || correct != wantCorrect || !grad.Equal(wantGrad) {
+					t.Fatalf("SoftmaxCrossEntropy n=%d level=%v diverges from generic (loss %v vs %v, correct %d vs %d)",
+						n, l, loss, wantLoss, correct, wantCorrect)
+				}
+			})
+		}
+	}
+}
+
+// TestMatMulExactAcrossSIMDLevels pins the whole blocked-GEMM stack against
+// the *Ref oracles at every dispatch level (the per-kernel tests above pin
+// the row updates; this pins their composition under blocking).
+func TestMatMulExactAcrossSIMDLevels(t *testing.T) {
+	prevPar := SetParallelism(1)
+	defer SetParallelism(prevPar)
+	rng := NewRNG(19)
+	m, k, n := 33, 70, 47
+	a := New(m, k)
+	NormalInit(a, 1, rng)
+	b := New(k, n)
+	NormalInit(b, 1, rng)
+	bT := Transpose(b)
+
+	wantMM := New(m, n)
+	MatMulRef(wantMM, a, b)
+	wantMMT := New(m, n)
+	MatMulTRef(wantMMT, a, bT)
+	wantTMM := New(k, n)
+	TMatMulRef(wantTMM, a, wantMM) // aᵀ·(a·b)
+
+	for _, l := range availableLevels() {
+		withSIMD(t, l, func() {
+			got := New(m, n)
+			MatMul(got, a, b)
+			if !got.Equal(wantMM) {
+				t.Fatalf("MatMul level=%v diverges from MatMulRef", l)
+			}
+			got = New(m, n)
+			MatMulT(got, a, bT)
+			if !got.Equal(wantMMT) {
+				t.Fatalf("MatMulT level=%v diverges from MatMulTRef", l)
+			}
+			got = New(k, n)
+			TMatMul(got, a, wantMM)
+			if !got.Equal(wantTMM) {
+				t.Fatalf("TMatMul level=%v diverges from TMatMulRef", l)
+			}
+		})
+	}
+}
+
+func TestSetSIMDLevelValidation(t *testing.T) {
+	if _, err := SetSIMDLevel(SIMDLevel(99)); err == nil {
+		t.Fatal("SetSIMDLevel(99) should fail")
+	}
+	if _, err := SetSIMDLevel(SIMDLevel(-1)); err == nil {
+		t.Fatal("SetSIMDLevel(-1) should fail")
+	}
+	if DetectedSIMDLevel() < SIMDAVX2 {
+		if _, err := SetSIMDLevel(SIMDAVX2); err == nil {
+			t.Fatal("SetSIMDLevel above the hardware ceiling should fail")
+		}
+	}
+	prev, err := SetSIMDLevel(SIMDGeneric)
+	if err != nil {
+		t.Fatalf("SetSIMDLevel(generic): %v", err)
+	}
+	if ActiveSIMDLevel() != SIMDGeneric {
+		t.Fatalf("active level %v after forcing generic", ActiveSIMDLevel())
+	}
+	if _, err := SetSIMDLevel(prev); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+}
+
+func TestParseSIMDLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SIMDLevel
+		ok   bool
+	}{
+		{"auto", DetectedSIMDLevel(), true},
+		{"", DetectedSIMDLevel(), true},
+		{"generic", SIMDGeneric, true},
+		{"SSE", SIMDSSE, true},
+		{" avx2 ", SIMDAVX2, true},
+		{"avx512", 0, false},
+		{"fast", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSIMDLevel(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParseSIMDLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ParseSIMDLevel(%q) should fail", c.in)
+		}
+	}
+	for _, l := range []SIMDLevel{SIMDGeneric, SIMDSSE, SIMDAVX2} {
+		back, err := ParseSIMDLevel(l.String())
+		if err != nil || back != l {
+			t.Fatalf("round-trip %v: got %v, %v", l, back, err)
+		}
+	}
+}
