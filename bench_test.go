@@ -100,6 +100,8 @@ func BenchmarkKernels(b *testing.B) {
 			b.ReportMetric(k.OptimizedAllocs, "trainstep-allocs")
 		case "ServingBatch":
 			b.ReportMetric(k.OptimizedAllocs, "servebatch-allocs")
+		case "Epoch(serial→prefetch)":
+			b.ReportMetric(k.OverlapRatio, "epoch-overlap-ratio")
 		}
 	}
 }

@@ -33,6 +33,7 @@ type options struct {
 	simd      string
 	quantize  bool
 	saint     bool
+	pipeline  string
 	nodes     int
 	trace     string
 
@@ -61,7 +62,9 @@ type runSpec struct {
 	// detected ceiling here; asking for a level the CPU lacks fails later,
 	// at SetSIMDLevel time, so syntax and capability errors stay distinct).
 	SIMD tensor.SIMDLevel
-	opts options
+	// Pipeline is the parsed -pipeline epoch schedule (serial|prefetch).
+	Pipeline core.PipelineMode
+	opts     options
 }
 
 // buildConfig resolves and validates every flag. Bad values return errors
@@ -114,6 +117,11 @@ func buildConfig(o options) (*runSpec, error) {
 		return nil, fmt.Errorf("-simd %q: %w", o.simd, err)
 	}
 	r.SIMD = lvl
+	pipe, err := core.ParsePipelineMode(o.pipeline)
+	if err != nil {
+		return nil, fmt.Errorf("-pipeline %q: %w", o.pipeline, err)
+	}
+	r.Pipeline = pipe
 	if o.batch < 1 {
 		return nil, fmt.Errorf("-batch %d: need at least 1", o.batch)
 	}
@@ -217,6 +225,7 @@ func (r *runSpec) coreConfig(ds *datagen.Dataset) core.Config {
 		DRM:              r.opts.drm,
 		QuantizeTransfer: r.opts.quantize,
 		UseSaint:         r.opts.saint,
+		Pipeline:         r.Pipeline,
 		Seed:             r.opts.seed,
 	}
 }

@@ -70,6 +70,7 @@ func main() {
 	flag.StringVar(&o.simd, "simd", "auto", "SIMD dispatch level for the tensor kernels: auto | generic | sse | avx2 (every level is bit-identical; levels above the CPU's capability are rejected)")
 	flag.BoolVar(&o.quantize, "quantize", false, "int8-quantize features on the PCIe link (§VIII extension)")
 	flag.BoolVar(&o.saint, "saint", false, "use GraphSAINT random-walk sampling instead of neighbor sampling")
+	flag.StringVar(&o.pipeline, "pipeline", "serial", "epoch execution schedule: serial | prefetch (prefetch overlaps iteration i+1's sampling/gather with iteration i's propagation; bit-identical trajectory)")
 	flag.IntVar(&o.nodes, "nodes", 1, "execute a multi-node run with this many partitioned shards")
 	flag.StringVar(&o.trace, "trace", "", "write per-epoch CSV telemetry to this file")
 	flag.BoolVar(&o.serveMode, "serve", false, "after training, serve an open-loop request stream with the trained model")
@@ -135,8 +136,8 @@ func runSingleNode(r *runSpec, coreCfg core.Config, o options) (*gnn.Model, erro
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("Training %s on %s (hybrid=%v tfp=%v drm=%v quantize=%v saint=%v)\n\n",
-		r.Kind, r.Plat.Name, o.hybrid, o.tfp, o.drm, o.quantize, o.saint)
+	fmt.Printf("Training %s on %s (hybrid=%v tfp=%v drm=%v quantize=%v saint=%v pipeline=%s)\n\n",
+		r.Kind, r.Plat.Name, o.hybrid, o.tfp, o.drm, o.quantize, o.saint, r.Pipeline)
 	var rec trace.Recorder
 	var fpgaAgg, fpgaUpd, fpgaTraffic int64
 	fmt.Printf("%-6s %-10s %-10s %-14s %-10s\n", "epoch", "loss", "accuracy", "virtual-epoch", "MTEPS")

@@ -51,6 +51,108 @@ func TestTrainingIterationZeroAlloc(t *testing.T) {
 	}
 }
 
+// The pipelined steady state must be allocation-free too: with a live
+// prefetch worker, one iteration is wait-for-prepared-slot, issue the next
+// prepare (assignment snapshot + channel hand-off), compute, reduce, step,
+// advance — none of which may allocate once the depth-2 ring is warm. The
+// worker's own prepare allocations count against the gate (AllocsPerRun
+// reads global malloc counters), so this covers both sides of the overlap.
+func TestTrainingIterationZeroAllocPipelined(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocation gate is skipped under -race")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	cfg := baseConfig(t)
+	cfg.Plat.Accels = nil // one CPU trainer: the serial fast path
+	cfg.DRM = false
+	cfg.Pipeline = PipelinePrefetch
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := e.batcher.Next()
+	p := e.startPrefetch()
+
+	// Fill the pipeline: prepare slot 0 on the worker.
+	s0 := e.slot(0)
+	e.assign.CloneInto(&s0.assign)
+	p.issue(s0, targets)
+
+	it := 0
+	iterate := func() {
+		cur := e.slot(it % pipelineDepth)
+		if err := p.wait(); err != nil {
+			t.Fatal(err)
+		}
+		nxt := e.slot((it + 1) % pipelineDepth)
+		e.assign.CloneInto(&nxt.assign)
+		p.issue(nxt, targets)
+		res, err := e.exec.compute(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The epoch loop's update path, verbatim (minus DRM).
+		global, _, err := e.gsync.Reduce(res.Grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range e.replicas {
+			e.opts[i].Step(e.replicas[i].Params, global)
+		}
+		e.clock.Advance(res.Stage)
+		it++
+	}
+	for i := 0; i < 60; i++ {
+		iterate()
+	}
+	a := testing.AllocsPerRun(20, iterate)
+	_ = p.wait() // settle the last issued prepare, then stop the worker
+	p.stop()
+	if a != 0 {
+		t.Fatalf("pipelined training iteration allocated %.1f times per run, want 0", a)
+	}
+}
+
+// heldOut (Evaluate(nil)'s vertex selection) must return exactly the
+// non-training vertices — pinned against a map-based reference — and must
+// not allocate once warm: it used to build a map[int32]bool over the
+// training set plus an appended slice on every call, which the
+// generation-stamped scratch replaces.
+func TestEvaluateHeldOutScratch(t *testing.T) {
+	e, err := NewEngine(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTrain := make(map[int32]bool, len(e.cfg.Data.TrainIdx))
+	for _, v := range e.cfg.Data.TrainIdx {
+		inTrain[v] = true
+	}
+	var want []int32
+	for v := int32(0); int(v) < e.cfg.Data.Graph.NumVertices; v++ {
+		if !inTrain[v] {
+			want = append(want, v)
+		}
+	}
+	for call := 0; call < 2; call++ { // second call reuses the scratch
+		got := e.heldOut()
+		if len(got) != len(want) {
+			t.Fatalf("call %d: %d held-out vertices, want %d", call, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("call %d: held-out[%d] = %d, want %d", call, i, got[i], want[i])
+			}
+		}
+	}
+	if raceEnabled {
+		return // exact allocation gate is skipped under -race
+	}
+	if a := testing.AllocsPerRun(10, func() { e.heldOut() }); a != 0 {
+		t.Fatalf("heldOut allocated %.1f times per call once warm, want 0", a)
+	}
+}
+
 // The serial fast path must not change what an iteration computes: a
 // single-trainer fleet's epoch statistics and trained parameters stay
 // bitwise identical whether the share arrives alone (serial path) or the

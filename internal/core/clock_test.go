@@ -89,6 +89,20 @@ func (s *stubExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	}, nil
 }
 
+// prepare/compute satisfy StageExecutor for the pipelined loop; the stub
+// parks the targets on the slot and replays RunIteration at compute time.
+func (s *stubExecutor) prepare(sl *iterSlot, targets []int32) error {
+	if len(sl.shares) != 1 {
+		sl.shares = make([][]int32, 1)
+	}
+	sl.shares[0] = targets
+	return nil
+}
+
+func (s *stubExecutor) compute(sl *iterSlot) (*IterResult, error) {
+	return s.RunIteration(sl.shares[0])
+}
+
 // failingSync mimics a dead multi-node ring: the epoch loop must surface
 // its error instead of applying a half-reduced gradient.
 type failingSync struct{ err error }

@@ -67,6 +67,14 @@ type Config struct {
 	// error, so its effect on convergence is measured, not assumed.
 	QuantizeTransfer bool
 
+	// Pipeline selects the epoch loop's execution schedule: PipelineSerial
+	// (the zero value) runs prepare and compute back to back;
+	// PipelinePrefetch overlaps prepare(i+1) with compute(i) on a prefetch
+	// worker — the paper's Fig. 4/5 pipelined execution, executed rather
+	// than merely charged. The virtual clock and (with DRM off) the training
+	// trajectory are identical across modes; see pipeline.go.
+	Pipeline PipelineMode
+
 	Seed uint64
 
 	// Sync bridges the locally averaged gradient to the globally applied

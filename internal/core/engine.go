@@ -33,27 +33,37 @@ type Engine struct {
 	gsync   GradientSync
 	locator FeatureLocator
 
-	// stageWS holds one feature-staging arena per trainer slot, created on
-	// first use by the stage executor so steady-state gathers reuse their
-	// buffers instead of allocating per iteration.
-	stageWS []*tensor.Workspace
+	// slots is the iteration-scratch ring, created lazily: each entry holds
+	// everything one in-flight iteration needs (assignment snapshot, share
+	// slices, retained mini-batches SampleInto refills, feature-staging
+	// arenas, per-accelerator stage vectors, the result struct). Serial
+	// execution uses slot 0 only; the software-pipelined epoch loop uses a
+	// depth-2 ring so prepare(i+1) fills one slot while the trainers still
+	// read the other. Together with the trainers' stepScratch the slots make
+	// the whole steady-state training iteration — sample, gather, price,
+	// propagate — allocation-free (gated by a test).
+	slots [pipelineDepth]*iterSlot
 
-	// iter* are RunIteration's persistent scratch, created lazily like
-	// stageWS: share slices, the per-slot retained mini-batches SampleInto
-	// refills, feature pointers, per-accelerator stage vectors, and the
-	// result struct itself. Together with the trainers' stepScratch they
-	// make the whole steady-state training iteration — sample, gather,
-	// price, propagate — allocation-free (gated by a test). Everything here
-	// is valid until the next RunIteration, which is exactly how long the
-	// epoch loop uses it.
-	iterShares  [][]int32
-	iterBatches []*sampler.MiniBatch
-	iterMBs     []*sampler.MiniBatch
-	iterFeats   []*tensor.Matrix
-	iterLoad    []float64
-	iterPerAcc  []perfmodel.DeviceStage
-	iterSizes   perfmodel.Sizes
-	iterRes     IterResult
+	// prefetch is the per-engine channel pair the pipelined epoch loop's
+	// prepare worker lives on, created on first pipelined epoch and reused
+	// after (the worker itself is per-epoch so an idle engine holds no
+	// goroutine).
+	prefetch *prefetcher
+
+	// eval* is Evaluate(nil)'s persistent scratch: a generation-stamped
+	// membership stamp over all vertices (same trick as sampler.SampleInto)
+	// and the reused held-out index slice.
+	evalGen  uint32
+	evalSeen []uint32
+	evalIdx  []int32
+}
+
+// slot returns ring entry i, creating it on first use.
+func (e *Engine) slot(i int) *iterSlot {
+	if e.slots[i] == nil {
+		e.slots[i] = &iterSlot{}
+	}
+	return e.slots[i]
 }
 
 // NewEngine validates the configuration and builds the runtime: one model
@@ -168,17 +178,41 @@ func (e *Engine) Params() *gnn.Parameters { return e.replicas[0].Params }
 // vertex — the held-out set).
 func (e *Engine) Evaluate(idx []int32) (float64, error) {
 	if idx == nil {
-		inTrain := make(map[int32]bool, len(e.cfg.Data.TrainIdx))
-		for _, v := range e.cfg.Data.TrainIdx {
-			inTrain[v] = true
-		}
-		for v := int32(0); int(v) < e.cfg.Data.Graph.NumVertices; v++ {
-			if !inTrain[v] {
-				idx = append(idx, v)
-			}
-		}
+		idx = e.heldOut()
 	}
 	return e.replicas[0].Evaluate(e.cfg.Data.Graph, e.cfg.Data.Features, e.cfg.Data.Labels, idx)
+}
+
+// heldOut returns every non-training vertex, into scratch reused across
+// calls. Training-set membership is tracked with a generation-stamped array
+// rather than a per-call map (the same trick as sampler.SampleInto): bumping
+// evalGen invalidates the previous call's stamps in O(1), so repeated
+// evaluation — the epoch loop's per-epoch accuracy probe — allocates nothing
+// after the first call.
+func (e *Engine) heldOut() []int32 {
+	n := e.cfg.Data.Graph.NumVertices
+	if len(e.evalSeen) < n {
+		e.evalSeen = make([]uint32, n)
+		e.evalIdx = make([]int32, 0, n)
+	}
+	e.evalGen++
+	if e.evalGen == 0 { // wrapped: stale stamps could collide, clear and restart
+		for i := range e.evalSeen {
+			e.evalSeen[i] = 0
+		}
+		e.evalGen = 1
+	}
+	for _, v := range e.cfg.Data.TrainIdx {
+		e.evalSeen[v] = e.evalGen
+	}
+	idx := e.evalIdx[:0]
+	for v := int32(0); int(v) < n; v++ {
+		if e.evalSeen[v] != e.evalGen {
+			idx = append(idx, v)
+		}
+	}
+	e.evalIdx = idx
+	return idx
 }
 
 // SaveModel writes a checkpoint of the trained weights.

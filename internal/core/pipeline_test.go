@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/tensor"
+)
+
+// trainEpochs builds an engine from cfg and runs it for the given number of
+// epochs, returning the per-epoch stats and the final parameters.
+func trainEpochs(t *testing.T, cfg Config, epochs int) ([]*EpochStats, *gnn.Parameters) {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make([]*EpochStats, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		st, err := e.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = append(stats, st)
+	}
+	return stats, e.Params()
+}
+
+// requireSameTrajectory asserts two runs produced bit-identical training:
+// per-epoch loss/accuracy and virtual-clock time compared exactly, and every
+// parameter matrix compared bitwise.
+func requireSameTrajectory(t *testing.T, label string,
+	sa, sb []*EpochStats, pa, pb *gnn.Parameters) {
+	t.Helper()
+	for i := range sa {
+		a, b := sa[i], sb[i]
+		if a.Loss != b.Loss || a.Accuracy != b.Accuracy {
+			t.Fatalf("%s: epoch %d diverged: loss %v vs %v, acc %v vs %v",
+				label, i+1, a.Loss, b.Loss, a.Accuracy, b.Accuracy)
+		}
+		if a.VirtualSec != b.VirtualSec || a.MTEPS != b.MTEPS {
+			t.Fatalf("%s: epoch %d virtual clock diverged: %v vs %v sec",
+				label, i+1, a.VirtualSec, b.VirtualSec)
+		}
+	}
+	for l := range pa.Weights {
+		if !pa.Weights[l].Equal(pb.Weights[l]) || !pa.Biases[l].Equal(pb.Biases[l]) {
+			t.Fatalf("%s: layer %d parameters diverged bitwise", label, l)
+		}
+	}
+}
+
+// With DRM off, prepare depends only on the batcher/RNG stream — never on
+// weights — so overlapping prepare(i+1) with compute(i) must not change a
+// single bit of the trajectory, at any GOMAXPROCS. 3 epochs × 5 iterations
+// = 15 steps, past the ≥10-step bar.
+func TestPipelinedBitwiseIdenticalToSerial(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			base := func() Config {
+				cfg := baseConfig(t)
+				cfg.DRM = false
+				return cfg
+			}
+			serial := base()
+			serial.Pipeline = PipelineSerial
+			ss, ps := trainEpochs(t, serial, 3)
+
+			prefetch := base()
+			prefetch.Pipeline = PipelinePrefetch
+			sp, pp := trainEpochs(t, prefetch, 3)
+
+			requireSameTrajectory(t, "serial vs prefetch", ss, sp, ps, pp)
+		})
+	}
+}
+
+// The same invariant must hold on the CPU-only fleet (the serial fast path
+// inside compute) and with tensor parallelism enabled — the prefetch worker
+// and ParallelRows workers coexist.
+func TestPipelinedBitwiseIdenticalSingleTrainer(t *testing.T) {
+	prev := tensor.SetParallelism(4)
+	defer tensor.SetParallelism(prev)
+	base := func() Config {
+		cfg := baseConfig(t)
+		cfg.Plat.Accels = nil
+		cfg.DRM = false
+		return cfg
+	}
+	serial := base()
+	ss, ps := trainEpochs(t, serial, 3)
+	prefetch := base()
+	prefetch.Pipeline = PipelinePrefetch
+	sp, pp := trainEpochs(t, prefetch, 3)
+	requireSameTrajectory(t, "single-trainer serial vs prefetch", ss, sp, ps, pp)
+}
+
+// With DRM on, prepare(i+1) consumes the assignment one iteration late (the
+// snapshot is taken before DRM reacts to iteration i). That lag is pinned
+// bitwise against the serial oracle: the identical schedule run with no
+// worker goroutine. Again at GOMAXPROCS 1 and 4 — scheduling cannot perturb
+// which assignment a prepare sees.
+func TestPipelinedDRMLagMatchesSerialOracle(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			cfg := baseConfig(t) // DRM on
+			cfg.Pipeline = PipelinePrefetch
+			sp, pp := trainEpochs(t, cfg, 3)
+
+			oracle, err := NewEngine(baseConfig(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			so := make([]*EpochStats, 0, 3)
+			for i := 0; i < 3; i++ {
+				st, err := oracle.runEpochOracle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				so = append(so, st)
+			}
+			requireSameTrajectory(t, "prefetch vs lagged oracle", sp, so, pp, oracle.Params())
+
+			// The lag must also move the same assignment: DRM's final mapping
+			// agrees across the two schedules.
+			a, b := sp[2].Assignment, so[2].Assignment
+			if a.CPUBatch != b.CPUBatch || a.SampThreads != b.SampThreads ||
+				a.LoadThreads != b.LoadThreads || a.TrainThreads != b.TrainThreads ||
+				a.AccelSampleFrac != b.AccelSampleFrac {
+				t.Fatalf("DRM assignments diverged: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// RunEpoch degenerates to the inline pipelined schedule at GOMAXPROCS=1, so
+// the worker hand-off is forced here explicitly: with DRM on and a single
+// proc — cooperative scheduling at its most adversarial — the worker-backed
+// epochs must still match the lagged serial oracle bit for bit.
+func TestPipelinedWorkerForcedAtOneProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	forced, err := NewEngine(func() Config {
+		cfg := baseConfig(t) // DRM on
+		cfg.Pipeline = PipelinePrefetch
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewEngine(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := make([]*EpochStats, 0, 3)
+	so := make([]*EpochStats, 0, 3)
+	for i := 0; i < 3; i++ {
+		stf, err := forced.runEpochAsync()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sto, err := oracle.runEpochOracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf = append(sf, stf)
+		so = append(so, sto)
+	}
+	requireSameTrajectory(t, "forced worker vs lagged oracle", sf, so,
+		forced.Params(), oracle.Params())
+}
+
+// The virtual clock is an accounting convention: execution mode must not
+// change what an iteration is *charged*, only when its stages run in
+// wall-clock. With DRM off, per-epoch VirtualSec agrees exactly across
+// serial, prefetch, and oracle schedules (the serial/prefetch half is also
+// covered by requireSameTrajectory above; this pins the oracle too).
+func TestVirtualClockUnchangedByExecutionMode(t *testing.T) {
+	base := func() Config {
+		cfg := baseConfig(t)
+		cfg.DRM = false
+		return cfg
+	}
+	serial, err := NewEngine(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewEngine(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgP := base()
+	cfgP.Pipeline = PipelinePrefetch
+	prefetch, err := NewEngine(cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		ss, err := serial.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, err := oracle.runEpochOracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := prefetch.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.VirtualSec != so.VirtualSec || ss.VirtualSec != sp.VirtualSec {
+			t.Fatalf("epoch %d: VirtualSec differs by mode: serial %v oracle %v prefetch %v",
+				i+1, ss.VirtualSec, so.VirtualSec, sp.VirtualSec)
+		}
+	}
+}
+
+// ParsePipelineMode round-trips the flag values and rejects junk.
+func TestParsePipelineMode(t *testing.T) {
+	for _, want := range []PipelineMode{PipelineSerial, PipelinePrefetch} {
+		got, err := ParsePipelineMode(want.String())
+		if err != nil || got != want {
+			t.Fatalf("round trip %v: got %v, err %v", want, got, err)
+		}
+	}
+	if _, err := ParsePipelineMode("overlapped"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}

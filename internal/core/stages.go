@@ -17,8 +17,24 @@ import (
 // stage times together with the training results. It does NOT apply weight
 // updates; the epoch orchestrator does, after GradientSync has produced the
 // globally averaged gradient.
+//
+// The iteration splits into two halves along the paper's Fig. 4/5 boundary:
+// prepare (Stages 1–3: sampling, feature gather/staging, transfer pricing)
+// depends only on the batcher/RNG stream and the assignment snapshot in its
+// slot — never on model weights — while compute (Stage 4: propagation +
+// local gradient reduction) consumes a prepared slot. RunIteration is
+// prepare followed immediately by compute on one slot (serial execution);
+// the software-pipelined epoch loop (pipeline.go) instead runs prepare for
+// iteration i+1 while compute for iteration i is still in flight, over a
+// depth-2 ring of slots.
 type StageExecutor interface {
 	RunIteration(targets []int32) (*IterResult, error)
+	// prepare runs Stages 1–3 for one global mini-batch into the slot's
+	// retained scratch, reading the assignment snapshot the slot carries.
+	prepare(s *iterSlot, targets []int32) error
+	// compute runs Stage 4 over a prepared slot and assembles the iteration
+	// result (owned by the slot, valid until its next prepare).
+	compute(s *iterSlot) (*IterResult, error)
 }
 
 // IterResult is one iteration's output: measured stage times, the locally
@@ -40,32 +56,76 @@ type IterResult struct {
 // serving model; mirrors pipesim).
 const runtimeBarrierSec = perfmodel.RuntimeBarrierSec
 
+// iterSlot is one ring entry of the iteration scratch: everything prepare
+// writes and compute reads for a single in-flight iteration. The serial path
+// uses one slot; the software-pipelined loop owns two, so prepare(i+1) can
+// fill one while the trainers still read the other, and the steady state
+// stays allocation-free (each slot's arenas grow to their roof once).
+type iterSlot struct {
+	// assign is the task-mapping snapshot prepare prices and splits against,
+	// copied in by the epoch loop *before* the slot is issued. Under DRM the
+	// pipelined loop snapshots before compute(i)'s DRM reaction, which is
+	// exactly the paper's one-iteration lag (Fig. 5): the engine reacts while
+	// the pipeline flows.
+	assign  perfmodel.Assignment
+	shares  [][]int32
+	batches []*sampler.MiniBatch // per-trainer view: nil for idle trainers
+	mbs     []*sampler.MiniBatch // retained storage SampleInto refills
+	feats   []*tensor.Matrix
+	ws      []*tensor.Workspace // per-trainer feature-staging arenas
+	load    []float64
+	perAcc  []perfmodel.DeviceStage
+	sizes   perfmodel.Sizes
+	res     IterResult
+
+	// prepare's outputs, consumed by compute.
+	st         perfmodel.StageTimes
+	edges      float64
+	remoteRows int
+}
+
 // hybridExecutor is the default StageExecutor: the paper's hybrid CPU +
 // accelerator pipeline over the engine's replica fleet.
 type hybridExecutor struct {
 	e *Engine
 }
 
-// RunIteration executes the pipeline stages for one global mini-batch. The
-// returned result is owned by the engine's iteration scratch and valid until
-// the next RunIteration — the epoch loop consumes it within the iteration,
+// RunIteration executes the pipeline stages for one global mini-batch,
+// serially: prepare then compute on slot 0, against the engine's current
+// assignment. The returned result is owned by the slot's scratch and valid
+// until its next prepare — the epoch loop consumes it within the iteration,
 // which keeps the whole steady-state iteration allocation-free.
 func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
+	s := x.e.slot(0)
+	x.e.assign.CloneInto(&s.assign)
+	if err := x.prepare(s, targets); err != nil {
+		return nil, err
+	}
+	return x.compute(s)
+}
+
+// prepare runs Stages 1–3 — sampling, feature gather/staging, transfer and
+// load pricing — into the slot. It touches only the slot's scratch, the
+// sampler/RNG stream (callers serialize prepares), and read-only engine
+// state (features, pricing model, locator); never the replicas or trainers,
+// which is what lets it overlap a sibling slot's compute.
+func (x *hybridExecutor) prepare(s *iterSlot, targets []int32) error {
 	e := x.e
-	out := &e.iterRes
-	*out = IterResult{}
-	shares := e.deviceShare(targets)
+	s.st = perfmodel.StageTimes{}
+	s.edges = 0
+	s.remoteRows = 0
+	shares := e.deviceShareInto(s, targets)
 
 	// --- Stage 1: Mini-batch Sampling (real work + virtual charge).
-	if len(e.iterBatches) != len(shares) {
-		e.iterBatches = make([]*sampler.MiniBatch, len(shares))
-		e.iterMBs = make([]*sampler.MiniBatch, len(shares))
-		for i := range e.iterMBs {
-			e.iterMBs[i] = &sampler.MiniBatch{}
+	if len(s.batches) != len(shares) {
+		s.batches = make([]*sampler.MiniBatch, len(shares))
+		s.mbs = make([]*sampler.MiniBatch, len(shares))
+		for i := range s.mbs {
+			s.mbs[i] = &sampler.MiniBatch{}
 		}
-		e.iterFeats = make([]*tensor.Matrix, len(shares))
+		s.feats = make([]*tensor.Matrix, len(shares))
 	}
-	batches := e.iterBatches
+	batches := s.batches
 	for i := range batches {
 		batches[i] = nil
 	}
@@ -81,29 +141,29 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 			// shaped around per-call node sets.)
 			mb, err := e.saint.SampleN(len(share), e.rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			batches[i] = mb
 		} else {
 			// Slot-retained mini-batch, rebuilt in place: trainer i reads
-			// it until its Step returns, within this iteration — exactly
-			// the storage's lifetime.
-			if err := e.smp.SampleInto(e.iterMBs[i], share, e.rng); err != nil {
-				return nil, err
+			// it until its Step returns, within the slot's iteration —
+			// exactly the storage's lifetime.
+			if err := e.smp.SampleInto(s.mbs[i], share, e.rng); err != nil {
+				return err
 			}
-			batches[i] = e.iterMBs[i]
+			batches[i] = s.mbs[i]
 		}
 		edges := float64(batches[i].EdgesTraversed())
-		out.Edges += edges
-		if i > 0 && e.assign.AccelSampleFrac > 0 {
-			sampEdgesAccel += edges * e.assign.AccelSampleFrac
-			sampEdgesCPU += edges * (1 - e.assign.AccelSampleFrac)
+		s.edges += edges
+		if i > 0 && s.assign.AccelSampleFrac > 0 {
+			sampEdgesAccel += edges * s.assign.AccelSampleFrac
+			sampEdgesCPU += edges * (1 - s.assign.AccelSampleFrac)
 		} else {
 			sampEdgesCPU += edges
 		}
 	}
 	st := perfmodel.StageTimes{
-		SampCPU:   e.pm.SampleTimeCPUEdges(sampEdgesCPU, e.assign.SampThreads),
+		SampCPU:   e.pm.SampleTimeCPUEdges(sampEdgesCPU, s.assign.SampThreads),
 		SampAccel: e.pm.SampleTimeAccelEdges(sampEdgesAccel / float64(max(1, len(e.cfg.Plat.Accels)))),
 		Sync:      e.pm.SyncTime(),
 	}
@@ -114,28 +174,28 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	// stack's loader (framework vs native, overlapped — see
 	// perfmodel.LoadTimeForDeviceRows).
 	nAcc := len(e.cfg.Plat.Accels)
-	feats := e.iterFeats
+	feats := s.feats
 	for i := range feats {
 		feats[i] = nil
 	}
-	if e.iterLoad == nil {
-		e.iterLoad = make([]float64, nAcc)
-		e.iterPerAcc = make([]perfmodel.DeviceStage, nAcc)
+	if s.load == nil {
+		s.load = make([]float64, nAcc)
+		s.perAcc = make([]perfmodel.DeviceStage, nAcc)
 	}
-	loadRows := e.iterLoad
+	loadRows := s.load
 	for i := range loadRows {
 		loadRows[i] = 0
 	}
 	if nAcc > 0 {
-		for i := range e.iterPerAcc {
-			e.iterPerAcc[i] = perfmodel.DeviceStage{}
+		for i := range s.perAcc {
+			s.perAcc[i] = perfmodel.DeviceStage{}
 		}
-		st.PerAccel = e.iterPerAcc
+		st.PerAccel = s.perAcc
 	}
-	if e.stageWS == nil {
-		e.stageWS = make([]*tensor.Workspace, len(shares))
-		for i := range e.stageWS {
-			e.stageWS[i] = tensor.NewWorkspace()
+	if s.ws == nil {
+		s.ws = make([]*tensor.Workspace, len(shares))
+		for i := range s.ws {
+			s.ws[i] = tensor.NewWorkspace()
 		}
 	}
 	for i, mb := range batches {
@@ -143,17 +203,17 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 			continue
 		}
 		// Per-slot staging arena: the gathered feature block is reused across
-		// iterations (trainer i reads it until its Step returns, within this
-		// iteration — exactly the buffer's lifetime).
-		e.stageWS[i].Reset()
-		x := e.stageWS[i].Get(len(mb.InputNodes()), e.cfg.Model.Dims[0])
+		// iterations (trainer i reads it until its Step returns, within the
+		// slot's iteration — exactly the buffer's lifetime).
+		s.ws[i].Reset()
+		x := s.ws[i].Get(len(mb.InputNodes()), e.cfg.Model.Dims[0])
 		tensor.GatherRows(x, e.cfg.Data.Features, mb.InputNodes())
 		feats[i] = x
 		if i > 0 { // accelerator share crosses DRAM + its host link
 			if e.cfg.QuantizeTransfer {
 				tensor.QuantizeRoundTrip(x) // inject the real int8 loss
 			}
-			sz := sizesInto(&e.iterSizes, mb)
+			sz := sizesInto(&s.sizes, mb)
 			loadRows[i-1] = sz.VL[0]
 			tt := e.pm.TransferTimeDev(i-1, sz)
 			st.PerAccel[i-1].Trans = tt
@@ -164,18 +224,32 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 		// Rows owned by remote shards cross the interconnect, whichever
 		// trainer consumes them (the CPU trainer's in-place reads included).
 		if e.locator != nil {
-			out.RemoteRows += e.locator.RemoteRows(mb.InputNodes())
+			s.remoteRows += e.locator.RemoteRows(mb.InputNodes())
 		}
 	}
-	st.Load = e.pm.LoadTimeForDeviceRows(loadRows, e.assign.LoadThreads)
+	st.Load = e.pm.LoadTimeForDeviceRows(loadRows, s.assign.LoadThreads)
 	if e.locator != nil {
-		st.NetFetch = e.locator.FetchSec(out.RemoteRows)
+		st.NetFetch = e.locator.FetchSec(s.remoteRows)
 	}
+	s.st = st
+	return nil
+}
 
-	// --- Stage 4: GNN Propagation on all trainers concurrently. A single
-	// active trainer — the CPU-only and benchmark shape — takes a serial
-	// fast path instead: the weighted all-reduce over one participant is
-	// the identity (its weight is exactly 1), so the trainer's own mean
+// compute runs Stage 4 — GNN propagation on all trainers concurrently plus
+// the local gradient all-reduce — over a prepared slot, and assembles the
+// iteration result.
+func (x *hybridExecutor) compute(s *iterSlot) (*IterResult, error) {
+	e := x.e
+	out := &s.res
+	*out = IterResult{}
+	out.Edges = s.edges
+	out.RemoteRows = s.remoteRows
+	st := s.st
+	batches, feats := s.batches, s.feats
+
+	// A single active trainer — the CPU-only and benchmark shape — takes a
+	// serial fast path instead: the weighted all-reduce over one participant
+	// is the identity (its weight is exactly 1), so the trainer's own mean
 	// gradient IS the round's broadcast average bit for bit, and skipping
 	// the goroutine + channel + DONE/ACK machinery leaves the whole
 	// iteration allocation-free.
@@ -207,7 +281,6 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 		out.Stage = st
 		return out, nil
 	}
-	results := make(chan trainerResult, len(shares))
 	sync_, err := optim.NewSynchronizer(countActive(batches))
 	if err != nil {
 		return nil, err
@@ -218,22 +291,32 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 			totalTargets += len(mb.Targets)
 		}
 	}
+	// Results land in a per-trainer slot and are folded in INDEX order
+	// below: loss/correct accumulation is floating-point, so folding in
+	// channel-arrival order would make the reported epoch statistics depend
+	// on goroutine scheduling (the all-reduce itself is rank-ordered inside
+	// the Synchronizer for the same reason).
+	resByIdx := make([]trainerResult, len(batches))
 	var wg sync.WaitGroup
+	rank := 0
 	for i, mb := range batches {
 		if mb == nil {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, mb *sampler.MiniBatch, x *tensor.Matrix) {
+		go func(i, rank int, mb *sampler.MiniBatch, x *tensor.Matrix) {
 			defer wg.Done()
-			res := e.runTrainer(i, mb, x, totalTargets, sync_)
-			results <- res
-		}(i, mb, feats[i])
+			resByIdx[i] = e.runTrainer(i, rank, mb, x, totalTargets, sync_)
+		}(i, rank, mb, feats[i])
+		rank++
 	}
 	wg.Wait()
-	close(results)
 
-	for res := range results {
+	for i := range batches {
+		if batches[i] == nil {
+			continue
+		}
+		res := &resByIdx[i]
 		if res.err != nil {
 			return nil, res.err
 		}
@@ -257,16 +340,16 @@ func (x *hybridExecutor) RunIteration(targets []int32) (*IterResult, error) {
 	return out, nil
 }
 
-// deviceShare splits the global batch of targets according to the current
-// assignment. Index 0 is the CPU trainer (may be empty). The returned slice
-// is the engine's iteration scratch; shares are subslices of targets.
-func (e *Engine) deviceShare(targets []int32) [][]int32 {
-	total := e.assign.TotalBatch()
+// deviceShareInto splits the global batch of targets according to the slot's
+// assignment snapshot. Index 0 is the CPU trainer (may be empty). The
+// returned slice is the slot's scratch; shares are subslices of targets.
+func (e *Engine) deviceShareInto(s *iterSlot, targets []int32) [][]int32 {
+	total := s.assign.TotalBatch()
 	nAcc := len(e.cfg.Plat.Accels)
-	if len(e.iterShares) != nAcc+1 {
-		e.iterShares = make([][]int32, nAcc+1)
+	if len(s.shares) != nAcc+1 {
+		s.shares = make([][]int32, nAcc+1)
 	}
-	shares := e.iterShares
+	shares := s.shares
 	for i := range shares {
 		shares[i] = nil
 	}
@@ -283,13 +366,13 @@ func (e *Engine) deviceShare(targets []int32) [][]int32 {
 		cursor += n
 		return s
 	}
-	shares[0] = take(len(targets) * e.assign.CPUBatch / total)
+	shares[0] = take(len(targets) * s.assign.CPUBatch / total)
 	for i := 0; i < nAcc; i++ {
 		if i == nAcc-1 {
 			shares[i+1] = targets[cursor:]
 			cursor = len(targets)
 		} else {
-			shares[i+1] = take(len(targets) * e.assign.AccelBatch[i] / total)
+			shares[i+1] = take(len(targets) * s.assign.AccelBatch[i] / total)
 		}
 	}
 	if nAcc == 0 {
@@ -337,9 +420,10 @@ func sizesInto(s *perfmodel.Sizes, mb *sampler.MiniBatch) perfmodel.Sizes {
 
 // runTrainer executes one trainer's share through its device backend:
 // forward/backward on the Trainer, gradient scaling for the weighted
-// all-reduce, and DONE/ACK via the synchronizer. The returned propSec is the
-// backend's virtual device time.
-func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
+// all-reduce, and DONE/ACK via the synchronizer (rank is the trainer's dense
+// index among this iteration's active trainers — the all-reduce sums in rank
+// order). The returned propSec is the backend's virtual device time.
+func (e *Engine) runTrainer(idx, rank int, mb *sampler.MiniBatch, x *tensor.Matrix,
 	totalTargets int, sync_ *optim.Synchronizer) trainerResult {
 	res := trainerResult{idx: idx, targets: len(mb.Targets)}
 	step, err := e.trainers[idx].Step(mb, x)
@@ -349,7 +433,7 @@ func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
 		// every active trainer, so a silent exit here would block the
 		// siblings forever. Submit a zero gradient; the coordinator sees
 		// res.err and discards the round.
-		sync_.Submit(gnn.NewGradients(e.replicas[idx].Params))
+		sync_.Submit(rank, gnn.NewGradients(e.replicas[idx].Params))
 		return res
 	}
 	res.loss = step.Loss
@@ -363,7 +447,7 @@ func (e *Engine) runTrainer(idx int, mb *sampler.MiniBatch, x *tensor.Matrix,
 	// (even share-less ones) once the round's average is known.
 	scale := float32(len(mb.Targets)) * float32(sync_.N()) / float32(totalTargets)
 	step.Grads.Scale(scale)
-	res.avg = sync_.Submit(step.Grads) // blocks until all trainers are DONE
+	res.avg = sync_.Submit(rank, step.Grads) // blocks until all trainers are DONE
 	return res
 }
 

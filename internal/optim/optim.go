@@ -55,13 +55,13 @@ func (o *SGD) Step(params *gnn.Parameters, grads *gnn.Gradients) {
 // condition variable); when DONE reaches n the synchronizer averages and the
 // averaged gradients are broadcast to all waiters.
 type Synchronizer struct {
-	n       int
-	mu      sync.Mutex
-	cond    *sync.Cond
-	done    int // the paper's DONE counter
-	pending []*gnn.Gradients
-	avg     *gnn.Gradients
-	round   uint64
+	n     int
+	mu    sync.Mutex
+	cond  *sync.Cond
+	done  int              // the paper's DONE counter
+	slots []*gnn.Gradients // pending gradients, indexed by trainer rank
+	avg   *gnn.Gradients
+	round uint64
 }
 
 // NewSynchronizer creates a synchronizer for n trainers.
@@ -69,7 +69,7 @@ func NewSynchronizer(n int) (*Synchronizer, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("optim: synchronizer needs n > 0, got %d", n)
 	}
-	s := &Synchronizer{n: n}
+	s := &Synchronizer{n: n, slots: make([]*gnn.Gradients, n)}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
@@ -77,27 +77,30 @@ func NewSynchronizer(n int) (*Synchronizer, error) {
 // N returns the number of participating trainers.
 func (s *Synchronizer) N() int { return s.n }
 
-// Submit delivers one trainer's gradients and blocks until all n trainers of
-// the current round have submitted; it then returns the element-wise average.
-// The returned gradients are shared — callers must not mutate them.
-// Weighted averaging for unequal batch sizes is the caller's concern: submit
-// gradients pre-scaled by batchSize/totalBatchSize and the "average" here
-// becomes the correct weighted mean if AverageMode is SumMode.
-func (s *Synchronizer) Submit(g *gnn.Gradients) *gnn.Gradients {
+// Submit delivers trainer rank's gradients (ranks are 0..n-1, one per
+// trainer) and blocks until all n trainers of the current round have
+// submitted; it then returns the element-wise average. The average is summed
+// in RANK order, not arrival order — floating-point addition is not
+// associative, so reducing in a scheduling-dependent order would make the
+// trained weights nondeterministic under GOMAXPROCS > 1. The returned
+// gradients are shared — callers must not mutate them. Weighted averaging
+// for unequal batch sizes is the caller's concern: submit gradients
+// pre-scaled by batchSize/totalBatchSize and the "average" here becomes the
+// correct weighted mean.
+func (s *Synchronizer) Submit(rank int, g *gnn.Gradients) *gnn.Gradients {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	myRound := s.round
-	s.pending = append(s.pending, g)
+	s.slots[rank] = g
 	s.done++ // paper Listing 1: DONE++
 	if s.done == s.n {
 		// Last arrival plays the Synchronizer role: gather, average, broadcast.
-		avg := s.pending[0].Clone()
-		for _, other := range s.pending[1:] {
+		avg := s.slots[0].Clone()
+		for _, other := range s.slots[1:] {
 			avg.Axpy(1, other)
 		}
 		avg.Scale(1 / float32(s.n))
 		s.avg = avg
-		s.pending = s.pending[:0]
 		s.done = 0
 		s.round++
 		s.cond.Broadcast()

@@ -79,7 +79,7 @@ func TestSynchronizerAverages(t *testing.T) {
 			defer wg.Done()
 			g := gnn.NewGradients(m.Params)
 			g.Weights[0].Fill(float32(i + 1)) // 1,2,3,4 -> avg 2.5
-			results[i] = sync_.Submit(g)
+			results[i] = sync_.Submit(i, g)
 		}(i)
 	}
 	wg.Wait()
@@ -106,7 +106,7 @@ func TestSynchronizerMultipleRounds(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				g := gnn.NewGradients(m.Params)
 				g.Weights[0].Fill(float32(r * 3)) // all trainers agree per round
-				avg := s.Submit(g)
+				avg := s.Submit(i, g)
 				if got := avg.Weights[0].At(0, 0); got != float32(r*3) {
 					errs <- "wrong round average"
 				}

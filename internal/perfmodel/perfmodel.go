@@ -103,6 +103,20 @@ func (a Assignment) Clone() Assignment {
 	return out
 }
 
+// CloneInto deep-copies the assignment into dst, reusing dst's AccelBatch
+// backing when it is large enough — the allocation-free variant for hot
+// paths that re-snapshot every iteration (the pipelined epoch loop).
+func (a Assignment) CloneInto(dst *Assignment) {
+	acc := dst.AccelBatch
+	*dst = a
+	if cap(acc) < len(a.AccelBatch) {
+		acc = make([]int, len(a.AccelBatch))
+	}
+	acc = acc[:len(a.AccelBatch)]
+	copy(acc, a.AccelBatch)
+	dst.AccelBatch = acc
+}
+
 // DeviceStage is one accelerator's share of an iteration: its private-link
 // transfer time and its propagation time. The per-device vector is what lets
 // the DRM engine move work between *unequal* devices — the aggregated maxima

@@ -1,0 +1,36 @@
+package tensor
+
+import "testing"
+
+// The parallel GatherRows must be bitwise the serial oracle at every worker
+// count and SIMD level: destination rows are disjoint, so neither the
+// ParallelRows split nor the copyRow kernel may change a bit. Widths include
+// non-multiples of the 8-lane SIMD stride so remainder handling is covered,
+// and the index list repeats rows (a gather is not a permutation).
+func TestGatherRowsMatchesSerialOracle(t *testing.T) {
+	rng := NewRNG(23)
+	for _, cols := range []int{1, 5, 8, 13, 37, 128} {
+		src := FromSlice(50, cols, randSlice(rng, 50*cols))
+		idx := make([]int32, 201)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(50))
+		}
+		want := New(len(idx), cols)
+		GatherRowsSerial(want, src, idx)
+
+		for _, par := range []int{1, 2, 3, 8} {
+			prev := SetParallelism(par)
+			for _, l := range availableLevels() {
+				withSIMD(t, l, func() {
+					dst := New(len(idx), cols)
+					GatherRows(dst, src, idx)
+					if !dst.Equal(want) {
+						t.Fatalf("GatherRows cols=%d par=%d level=%v diverges from serial oracle",
+							cols, par, l)
+					}
+				})
+			}
+			SetParallelism(prev)
+		}
+	}
+}

@@ -289,6 +289,9 @@ func SplitCols(a, b, src *Matrix) {
 }
 
 // GatherRows copies rows idx of src into dst (dst is len(idx)×src.Cols).
+// Rows split across ParallelRows workers, each copying with the SIMD
+// copyRow kernel — the feature-staging gather is the largest memcpy in the
+// pipeline's Stage 2.
 func GatherRows(dst, src *Matrix, idx []int32) {
 	if dst.Rows != len(idx) || dst.Cols != src.Cols {
 		panic("tensor: GatherRows shape mismatch")
@@ -298,6 +301,17 @@ func GatherRows(dst, src *Matrix, idx []int32) {
 		return
 	}
 	parallelRows(len(idx), func(lo, hi int) { gatherRowsRange(dst, src, idx, lo, hi) })
+}
+
+// GatherRowsSerial is the single-threaded reference gather — the oracle the
+// parallel GatherRows is pinned against bitwise. Destination rows are
+// disjoint, so the worker split cannot change a bit; the regression test
+// keeps that true as the kernel evolves.
+func GatherRowsSerial(dst, src *Matrix, idx []int32) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: GatherRowsSerial shape mismatch")
+	}
+	gatherRowsRange(dst, src, idx, 0, len(idx))
 }
 
 func gatherRowsRange(dst, src *Matrix, idx []int32, lo, hi int) {
