@@ -106,6 +106,32 @@ func BenchmarkKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkServeThroughput runs the serving data-plane before/after suite
+// (legacy single-lock LRU vs the lock-striped sharded cache under
+// concurrency, the dispatch memo map→slice change, end-to-end wall-clock
+// throughput and allocs/request, per-policy hit/latency/regret profiles)
+// and reports the headline metrics. The same suite serializes to
+// BENCH_serve.json via `go run ./cmd/experiments -serve-json BENCH_serve.json`.
+func BenchmarkServeThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var report *bench.ServeReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		report, err = bench.ServeThroughput(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range report.Cache {
+		if r.Cache == "sharded" && r.Shards == 4 && !r.Batched {
+			b.ReportMetric(r.SpeedupVsLegacy, "cache4-speedup")
+		}
+	}
+	b.ReportMetric(report.E2EWallRPS, "e2e-wall-rps")
+	b.ReportMetric(report.AllocsPerRequestAfter, "allocs/request")
+	b.ReportMetric(report.AffinityHitDelta, "affinity-hit-delta")
+}
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

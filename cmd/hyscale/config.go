@@ -48,6 +48,9 @@ type options struct {
 	serveQueue    int
 	serveCache    int
 	serveZipf     float64
+	serveShards   int
+	servePolicy   string
+	routeTrace    bool
 }
 
 // runSpec is a fully validated run: the scaled dataset spec, resolved model
@@ -171,6 +174,12 @@ func buildConfig(o options) (*runSpec, error) {
 		if o.serveZipf < 0 {
 			return nil, fmt.Errorf("-serve-zipf %v: negative", o.serveZipf)
 		}
+		if o.serveShards < 0 {
+			return nil, fmt.Errorf("-serve-shards %d: negative", o.serveShards)
+		}
+		if _, err := serve.ParsePolicy(o.servePolicy); err != nil {
+			return nil, fmt.Errorf("-serve-policy %q: %w", o.servePolicy, err)
+		}
 	}
 	return r, nil
 }
@@ -249,6 +258,9 @@ func (r *runSpec) serveConfig(ds *datagen.Dataset, model *gnn.Model) serve.Confi
 		SmallBatchCut:    r.opts.serveSmall,
 		QueueCap:         r.opts.serveQueue,
 		CacheSize:        r.opts.serveCache,
+		CacheShards:      r.opts.serveShards,
+		Policy:           r.opts.servePolicy,
+		RouteTrace:       r.opts.routeTrace,
 		QuantizeTransfer: r.opts.quantize,
 		Seed:             r.opts.seed,
 	}

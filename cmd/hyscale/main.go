@@ -84,6 +84,9 @@ func main() {
 	flag.IntVar(&o.serveQueue, "serve-queue", 1024, "serving: admission-control queue capacity")
 	flag.IntVar(&o.serveCache, "serve-cache", 4096, "serving: embedding-cache capacity in entries (0 disables)")
 	flag.Float64Var(&o.serveZipf, "serve-zipf", 1.1, "serving: Zipf exponent of vertex popularity (0 = uniform)")
+	flag.IntVar(&o.serveShards, "serve-shards", 1, "serving: embedding-cache lock-striped shards (rounded down to a power of two; 1 keeps the global-LRU eviction order)")
+	flag.StringVar(&o.servePolicy, "serve-policy", "earliest", "serving: routing policy: earliest | least-loaded | affinity")
+	flag.BoolVar(&o.routeTrace, "route-trace", false, "serving: record a per-batch routing decision trace (chosen worker plus every counterfactual) and print the head of it")
 	flag.Parse()
 	o.hybrid, o.tfp, o.drm = !*noHybrid, !*noTFP, !*noDRM
 
@@ -202,6 +205,10 @@ func runServe(r *runSpec, ds *datagen.Dataset, model *gnn.Model) error {
 		return err
 	}
 	fmt.Println(st)
+	if cfg.RouteTrace {
+		fmt.Println("\nRouting decisions (-route-trace):")
+		fmt.Println(st.TraceString(12))
+	}
 	return nil
 }
 

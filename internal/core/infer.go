@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/accel"
 	"repro/internal/datagen"
@@ -79,6 +80,15 @@ type InferencePipeline struct {
 	mb    sampler.MiniBatch
 	rows  []float64
 	sizes perfmodel.Sizes
+	// res is RunBatch's retained result (the contract already scopes a
+	// result's validity to the next RunBatch, so the header is reused too —
+	// the serving loop's last per-batch allocation).
+	res InferResult
+	// svcSec memoizes ServiceSec by computed-target count (NaN = unfilled).
+	// The count is bounded by the serving batcher's size cap, so a small
+	// dense slice replaces the map the serving router used to consult on
+	// every dispatch — no hashing, no map overhead, no allocation.
+	svcSec []float64
 }
 
 // NewInferencePipeline validates the configuration and builds one worker.
@@ -161,6 +171,36 @@ func (p *InferencePipeline) PredictBatchStage(computed int) (perfmodel.StageTime
 	return p.pm.ServingBatchStage(p.cfg.Device, computed, p.cfg.SampThreads, p.cfg.LoadThreads)
 }
 
+// ServiceSec returns the predicted serial service time of a batch of
+// `computed` cache-missing targets on this worker's device, memoized in a
+// dense slice. The first call per count prices the batch (which allocates
+// its stage rows); every later call is a bounds check and a load — callers
+// that prefill counts 1..MaxBatch at construction keep the dispatch hot
+// path allocation-free.
+func (p *InferencePipeline) ServiceSec(computed int) (float64, error) {
+	if computed < 0 {
+		return 0, fmt.Errorf("core: negative computed-target count %d", computed)
+	}
+	if computed >= len(p.svcSec) {
+		grown := make([]float64, computed+1)
+		copy(grown, p.svcSec)
+		for i := len(p.svcSec); i < len(grown); i++ {
+			grown[i] = math.NaN()
+		}
+		p.svcSec = grown
+	}
+	if s := p.svcSec[computed]; !math.IsNaN(s) {
+		return s, nil
+	}
+	st, err := p.PredictBatchStage(computed)
+	if err != nil {
+		return 0, err
+	}
+	s := perfmodel.ServingServiceSec(st)
+	p.svcSec[computed] = s
+	return s, nil
+}
+
 // RunBatch samples the L-hop fanout of the target vertices, gathers their
 // input features, and propagates only that subgraph, returning the logits
 // and the virtual stage times of the batch. The returned Logits (and the
@@ -180,7 +220,8 @@ func (p *InferencePipeline) RunBatch(targets []int32) (*InferResult, error) {
 	st := perfmodel.StageTimes{
 		SampCPU: p.pm.SampleTimeCPUEdges(float64(mb.EdgesTraversed()), p.cfg.SampThreads),
 	}
-	res := &InferResult{
+	res := &p.res
+	*res = InferResult{
 		Targets:   mb.Targets,
 		Edges:     float64(mb.EdgesTraversed()),
 		InputRows: len(mb.InputNodes()),

@@ -20,6 +20,10 @@ const (
 	CPU Kind = iota
 	GPU
 	FPGA
+
+	// KindCount is the number of device kinds — sized for dense per-kind
+	// arrays (admission shares, inflight heaps) indexed by Kind.
+	KindCount = int(FPGA) + 1
 )
 
 // String names the kind.

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The serving steady state — arrival → deadline expiry → admission →
+// batching → cache lookup → routing → compute → cache publish → completion
+// accounting — must run allocation-free once warm. This is the serving
+// counterpart of core's TestTrainingIterationZeroAlloc: it gates the whole
+// reuse discipline at once (ping-pong batch buffers, batched cache ops over
+// preallocated scratch, generation-stamped vertex dedup, the dense
+// service-time memo, the hand-rolled completion heap), so any new
+// per-request or per-batch make/box anywhere in the loop fails it.
+func TestServingSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocation gate is skipped under -race")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	ds, m := testSetup(t)
+	cfg := baseConfig(ds, m)
+	cfg.Plat.Accels = nil // one CPU worker: the serial fast path
+	cfg.NumRequests = 1 << 16
+	cfg.RatePerSec = 50000 // hot: batches close at MaxBatch, admission sheds some
+	cfg.CacheSize = 256
+	cfg.CacheShards = 4
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := s.offer(s.stream.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm every arena to its roof: sampled neighborhood sizes vary batch to
+	// batch, so the workspace, batcher, and admission heap must all have
+	// seen their steady-state maxima before counting.
+	feed(4000)
+	batchesBefore, computedBefore := s.stats.Batches, s.stats.Computed
+	if a := testing.AllocsPerRun(20, func() { feed(50) }); a != 0 {
+		t.Fatalf("serving steady state allocated %.2f times per 50 requests, want 0", a)
+	}
+	// The gate must have exercised the full path, not just admission.
+	if s.stats.Batches == batchesBefore || s.stats.Computed == computedBefore {
+		t.Fatalf("gate did not reach dispatch: batches %d->%d computed %d->%d",
+			batchesBefore, s.stats.Batches, computedBefore, s.stats.Computed)
+	}
+}
+
+// Satellite micro-benchmark for the dispatch memo change: the router
+// consults the per-worker predicted service time once per worker per closed
+// batch. The legacy worker kept a map[int]float64; the pipeline now keeps a
+// dense slice indexed by the MaxBatch-bounded computed count.
+var memoSink float64
+
+func BenchmarkServiceMemoMap(b *testing.B) {
+	m := make(map[int]float64, 32)
+	for c := 1; c <= 32; c++ {
+		m[c] = float64(c) * 1e-4
+	}
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += m[i&31+1]
+	}
+	memoSink = s
+}
+
+func BenchmarkServiceMemoSlice(b *testing.B) {
+	sl := make([]float64, 33)
+	for c := 1; c <= 32; c++ {
+		sl[c] = float64(c) * 1e-4
+	}
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += sl[i&31+1]
+	}
+	memoSink = s
+}

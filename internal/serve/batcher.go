@@ -28,6 +28,10 @@ type DynamicBatcher struct {
 	window   float64
 	smallCut int
 	pending  []Request
+	// spare is the other half of take()'s ping-pong: closed batches and the
+	// open batch alternate between two retained backing arrays, so the
+	// steady state allocates nothing. See the validity contract on take.
+	spare []Request
 }
 
 // NewDynamicBatcher validates the knobs.
@@ -110,8 +114,14 @@ func (b *DynamicBatcher) Flush() (batch []Request, closeAt float64) {
 	return b.take(), dl
 }
 
+// take closes the open batch, swapping in the spare backing array for the
+// next one. The returned slice is reused as the open batch after the *next*
+// close — valid until then. The serving loop dispatches each batch
+// synchronously before touching the batcher again, so it never observes the
+// reuse; callers that retain a batch must copy it.
 func (b *DynamicBatcher) take() []Request {
 	batch := b.pending
-	b.pending = nil
+	b.pending = b.spare[:0]
+	b.spare = batch
 	return batch
 }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -23,12 +22,16 @@ import (
 // that faster kinds could have served. SetKindCap bounds each kind's
 // in-flight share; the router consults KindSaturated to steer batches away
 // from a kind that has exhausted its share.
+//
+// Kind state lives in dense arrays indexed by hw.Kind (no map lookups on
+// the admission hot path), and the completion heaps are hand-rolled over
+// []float64 — container/heap would box every completion time through
+// interface{}, one allocation per dispatched request.
 type AdmissionController struct {
 	capacity int
 	waiting  int
-	inflight map[hw.Kind]*completionHeap
-	caps     map[hw.Kind]int
-	kinds    []hw.Kind // deterministic iteration order
+	inflight [hw.KindCount]completionHeap
+	caps     [hw.KindCount]int
 }
 
 // NewAdmissionController builds a controller; capacity must be positive.
@@ -36,11 +39,7 @@ func NewAdmissionController(capacity int) (*AdmissionController, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("serve: non-positive queue capacity %d", capacity)
 	}
-	return &AdmissionController{
-		capacity: capacity,
-		inflight: make(map[hw.Kind]*completionHeap),
-		caps:     make(map[hw.Kind]int),
-	}, nil
+	return &AdmissionController{capacity: capacity}, nil
 }
 
 // SetKindCap bounds one device kind's in-flight requests (0 removes the
@@ -50,29 +49,16 @@ func (a *AdmissionController) SetKindCap(kind hw.Kind, cap int) {
 		cap = 0
 	}
 	a.caps[kind] = cap
-	a.heapFor(kind) // register the kind for deterministic iteration
-}
-
-func (a *AdmissionController) heapFor(kind hw.Kind) *completionHeap {
-	h, ok := a.inflight[kind]
-	if !ok {
-		h = &completionHeap{}
-		a.inflight[kind] = h
-		a.kinds = append(a.kinds, kind)
-	}
-	return h
 }
 
 // Admit reports whether a request arriving at virtual time now fits, and
 // records it as waiting if so.
 func (a *AdmissionController) Admit(now float64) bool {
 	total := a.waiting
-	for _, k := range a.kinds {
-		h := a.inflight[k]
-		for h.Len() > 0 && (*h)[0] <= now {
-			heap.Pop(h)
-		}
-		total += h.Len()
+	for k := range a.inflight {
+		h := &a.inflight[k]
+		h.drain(now)
+		total += len(*h)
 	}
 	if total >= a.capacity {
 		return false
@@ -96,9 +82,9 @@ func (a *AdmissionController) DispatchedKind(kind hw.Kind, completions []float64
 	if a.waiting < 0 {
 		a.waiting = 0
 	}
-	h := a.heapFor(kind)
+	h := &a.inflight[kind]
 	for _, c := range completions {
-		heap.Push(h, c)
+		h.push(c)
 	}
 }
 
@@ -109,44 +95,79 @@ func (a *AdmissionController) KindSaturated(kind hw.Kind, now float64) bool {
 	if cap <= 0 {
 		return false
 	}
-	h := a.heapFor(kind)
-	for h.Len() > 0 && (*h)[0] <= now {
-		heap.Pop(h)
-	}
-	return h.Len() >= cap
+	h := &a.inflight[kind]
+	h.drain(now)
+	return len(*h) >= cap
 }
 
 // KindInflight returns a kind's current in-flight count (tests, telemetry).
 func (a *AdmissionController) KindInflight(kind hw.Kind) int {
-	if h, ok := a.inflight[kind]; ok {
-		return h.Len()
-	}
-	return 0
+	return len(a.inflight[kind])
 }
 
 // Outstanding returns the current waiting + in-flight count as of the last
 // Admit call (for tests and telemetry).
 func (a *AdmissionController) Outstanding() int {
 	total := a.waiting
-	for _, k := range a.kinds {
-		total += a.inflight[k].Len()
+	for k := range a.inflight {
+		total += len(a.inflight[k])
 	}
 	return total
 }
 
-// completionHeap is a min-heap of virtual completion times.
+// completionHeap is a min-heap of virtual completion times with hand-rolled
+// sift operations: pushing a float64 through container/heap's interface{}
+// funnel costs one allocation per value, which on this path means one per
+// dispatched request.
 type completionHeap []float64
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push adds a completion time, sifting it up to restore heap order.
+func (h *completionHeap) push(x float64) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest completion time.
+func (h *completionHeap) popMin() float64 {
+	s := *h
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && s[r] < s[l] {
+			child = r
+		}
+		if s[i] <= s[child] {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return min
+}
+
+// drain pops every completion at or before now.
+func (h *completionHeap) drain(now float64) {
+	for len(*h) > 0 && (*h)[0] <= now {
+		h.popMin()
+	}
 }
 
 // RequestStream generates the synthetic open-loop workload: Poisson arrivals

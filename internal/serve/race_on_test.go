@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips the exact allocation gates under the race detector,
+// whose instrumentation allocates shadow state on paths that are
+// allocation-free in a normal build, making steady-state counts
+// nondeterministic (same convention as internal/core and internal/gnn).
+const raceEnabled = true

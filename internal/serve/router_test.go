@@ -42,7 +42,7 @@ func TestRoutedMatchesLegacyOnHomogeneousPool(t *testing.T) {
 				t.Fatal(err)
 			}
 			legacy := cfg
-			legacy.legacyRoute = true
+			legacy.Policy = PolicyLeastLoaded
 			ref, err := Run(legacy)
 			if err != nil {
 				t.Fatal(err)

@@ -1,17 +1,23 @@
 // Package serve is the online-serving subsystem grown on the shared HyScale
 // runtime: a request queue with kind-aware admission control, a dynamic
-// batcher (size-or-deadline, with an optional per-kind split), an LRU
-// embedding cache keyed by vertex and model version, and a fleet of
+// batcher (size-or-deadline, with an optional per-kind split), a sharded
+// LRU embedding cache keyed by vertex and model version, and a fleet of
 // per-device workers — each core.InferencePipeline bound to one hw.Device
 // (the host CPU peer, a GPU, or an FPGA running the §IV-C dataflow kernels)
-// the way training's Trainer backends are. A router dispatches every closed
-// batch to the worker with the earliest predicted completion, using the
-// per-device perfmodel serving stage vectors, while charging sample →
-// gather → transfer → propagate on the same virtual PipelineClock and
-// perfmodel price list as training. The run is an event-driven open-loop
-// simulation (the BLIS-style shape): arrivals, batch deadlines, and batch
-// completions are totally ordered in virtual time, so every run is
-// deterministic for a given seed.
+// the way training's Trainer backends are. A pluggable routing policy
+// dispatches every closed batch — by default to the worker with the
+// earliest predicted completion, using the per-device perfmodel serving
+// stage vectors — while charging sample → gather → transfer → propagate on
+// the same virtual PipelineClock and perfmodel price list as training. The
+// run is an event-driven open-loop simulation (the BLIS-style shape):
+// arrivals, batch deadlines, and batch completions are totally ordered in
+// virtual time, so every run is deterministic for a given seed.
+//
+// The event loop is allocation-free in steady state (gated by
+// TestServingSteadyStateZeroAlloc): batches ping-pong between two retained
+// buffers, cache lookups and inserts run through batch APIs over
+// preallocated scratch, per-vertex dedup uses a generation-stamped array,
+// and the per-device service-time memo is a dense slice.
 package serve
 
 import (
@@ -62,42 +68,42 @@ type Config struct {
 	SmallBatchCut int
 	QueueCap      int // admission control: max outstanding requests (0 → 1024)
 	CacheSize     int // embedding-cache capacity in entries (0 disables)
+	// CacheShards lock-stripes the embedding cache (rounded down to a power
+	// of two, clamped to CacheSize; 0 → 1). A 1-shard cache evicts in
+	// exactly the legacy global-LRU order; more shards evict per-shard, so
+	// until evictions begin the shard count never changes which keys are
+	// resident (and run Stats are identical across shard counts).
+	CacheShards int
+
+	// Policy names the routing policy: "earliest" (default), "least-loaded"
+	// (the pre-PR-4 legacy router, kept as the regression baseline), or
+	// "affinity" (cache-affinity scoring with predicted-completion
+	// tie-break). See ParsePolicy for accepted spellings.
+	Policy string
+	// RouteTrace records a RouteDecision row per computed batch in
+	// Stats.RouteTrace — the chosen worker plus the counterfactual
+	// predicted completion of every alternative. Tracing allocates; leave
+	// it off on the zero-alloc path.
+	RouteTrace bool
 
 	QuantizeTransfer bool // int8 feature transfer for accelerator workers
 	Seed             uint64
-
-	// legacyRoute switches the router to the pre-refactor policy — dispatch
-	// to the worker with the smallest AvailableAt, ignoring per-device
-	// predictions, kind saturation, and the small-batch split. It exists
-	// only for the regression property test: on a pool of identical devices
-	// the kind-aware router must reproduce this policy's stats byte for
-	// byte.
-	legacyRoute bool
 }
 
-// worker is one pool member: a pipeline bound to a device, plus its share
-// counters and a memo of the device's predicted batch service times (they
-// depend only on the computed-target count, which the size cap bounds).
+// worker is one pool member: a pipeline bound to a device plus its share
+// counters. Predicted batch service times come from the pipeline's dense
+// ServiceSec memo (they depend only on the computed-target count, which the
+// size cap bounds; the server prefills 1..MaxBatch at construction).
 type worker struct {
 	pipe  *core.InferencePipeline
 	idx   int // position in the pool
 	stats DeviceStats
-	svc   map[int]float64 // computed targets → predicted ServiceSec
 }
 
 // serviceSec returns the memoized per-device predicted service time for a
 // batch of `computed` cache-missing targets.
 func (w *worker) serviceSec(computed int) (float64, error) {
-	if s, ok := w.svc[computed]; ok {
-		return s, nil
-	}
-	st, err := w.pipe.PredictBatchStage(computed)
-	if err != nil {
-		return 0, err
-	}
-	s := perfmodel.ServingServiceSec(st)
-	w.svc[computed] = s
-	return s, nil
+	return w.pipe.ServiceSec(computed)
 }
 
 // workerBindings resolves the pool's device bindings in
@@ -123,10 +129,47 @@ func workerBindings(cfg Config) []int {
 	return b
 }
 
-// Run drives the full open-loop stream through the serving stack and
-// returns the measured statistics plus the analytic prediction for the same
-// operating point.
-func Run(cfg Config) (*Stats, error) {
+// server is one serving run's assembled state: the pool, stream, batcher,
+// admission controller, cache, and routing policy, plus every scratch
+// buffer the dispatch path reuses. Its steady state (offer → batch close →
+// route → complete) performs zero heap allocations once warm.
+type server struct {
+	cfg       Config
+	pool      []*worker
+	bindings  []int
+	stream    *RequestStream
+	batcher   *DynamicBatcher
+	admission *AdmissionController
+	cache     *ShardedCache
+	policy    RoutePolicy
+
+	stats           *Stats
+	latencies       []float64
+	lastCompletion  float64
+	batchReqSum     int
+	computedBatches int
+
+	// Dispatch scratch, all MaxBatch-bounded and reused per batch.
+	keys        []CacheKey  // lookup keys, one per batch request
+	ready       []float64   // GetMany: per-request entry ready time
+	hit         []bool      // GetMany: per-request hit flag
+	order       []int32     // unique cache-missing vertices, first-seen order
+	putKeys     []CacheKey  // PutMany keys for order
+	putEmbs     [][]float32 // PutMany values (arena-copied by the cache)
+	completions []float64   // per-request virtual completion times
+	// vertexGen dedups a batch's missing vertices without a map: slot v
+	// holds the generation of the last batch that saw v.
+	vertexGen []uint32
+	gen       uint32
+	// routeReq is the reused routing request: passing a stack literal's
+	// address through the RoutePolicy interface would escape (one heap
+	// allocation per computed batch).
+	routeReq RouteRequest
+}
+
+// newServer validates cfg and assembles a run (the entry point Run and the
+// benchmarks share).
+func newServer(cfg Config) (*server, error) {
 	if cfg.NumRequests <= 0 {
 		return nil, fmt.Errorf("serve: non-positive request count %d", cfg.NumRequests)
 	}
@@ -139,6 +182,11 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.SmallBatchCut > 0 && !cfg.CPUPeer && len(cfg.Plat.Accels) > 0 {
 		return nil, fmt.Errorf("serve: SmallBatchCut %d needs the CPU peer (set CPUPeer)", cfg.SmallBatchCut)
 	}
+	policyName, err := ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = policyName
 	bindings := workerBindings(cfg)
 	rng := tensor.NewRNG(cfg.Seed)
 	pool := make([]*worker, len(bindings))
@@ -152,9 +200,16 @@ func Run(cfg Config) (*Stats, error) {
 		if err != nil {
 			return nil, err
 		}
-		pool[i] = &worker{pipe: p, idx: i, svc: map[int]float64{}, stats: DeviceStats{
+		pool[i] = &worker{pipe: p, idx: i, stats: DeviceStats{
 			Name: p.Device().Name, Kind: p.Device().Kind, Device: device,
 		}}
+		// Prefill the service-time memo for every batch size the router can
+		// ask about, so routing never allocates in steady state.
+		for c := 1; c <= cfg.MaxBatch; c++ {
+			if _, err := p.ServiceSec(c); err != nil {
+				return nil, err
+			}
+		}
 	}
 	stream, err := NewRequestStream(cfg.Data.Graph.NumVertices, cfg.RatePerSec, cfg.ZipfExponent, rng.Split())
 	if err != nil {
@@ -169,183 +224,189 @@ func Run(cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	setKindCaps(admission, pool, cfg.QueueCap)
-	cache := NewEmbeddingCache(cfg.CacheSize)
-
-	stats := &Stats{Offered: cfg.NumRequests}
-	var latencies []float64
-	var lastCompletion float64
-	var batchReqSum, computedBatches int
-
-	// route picks the worker for a closed batch of `computed` cache-missing
-	// targets: the earliest predicted completion over the per-device serving
-	// stage vectors, preferring the CPU peer for batches under the
-	// batcher's small cut and steering around kinds that have exhausted
-	// their admission share. Ties break on availability, then pool order,
-	// so routing is deterministic — and on a pool of identical devices it
-	// coincides with the legacy least-available policy.
-	route := func(computed int, closeAt float64) (*worker, error) {
-		if cfg.legacyRoute {
-			w := pool[0]
-			for _, p := range pool[1:] {
-				if p.pipe.AvailableAt() < w.pipe.AvailableAt() {
-					w = p
-				}
-			}
-			return w, nil
-		}
-		if batcher.Small(computed) {
-			for _, w := range pool {
-				if w.pipe.DeviceIndex() == 0 && !admission.KindSaturated(hw.CPU, closeAt) {
-					return w, nil
-				}
-			}
-		}
-		pick := func(skipSaturated bool) (*worker, error) {
-			var best *worker
-			var bestPred, bestAvail float64
-			for _, w := range pool {
-				if skipSaturated && admission.KindSaturated(w.pipe.Device().Kind, closeAt) {
-					continue
-				}
-				svc, err := w.serviceSec(computed)
-				if err != nil {
-					return nil, err
-				}
-				avail := w.pipe.AvailableAt()
-				pred := math.Max(closeAt, avail) + svc
-				if best == nil || pred < bestPred ||
-					(pred == bestPred && avail < bestAvail) {
-					best, bestPred, bestAvail = w, pred, avail
-				}
-			}
-			return best, nil
-		}
-		best, err := pick(true)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil { // every kind saturated: fall back to the whole pool
-			best, err = pick(false)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return best, nil
+	policy, err := newRoutePolicy(cfg.Policy, pool, admission)
+	if err != nil {
+		return nil, err
 	}
+	dims := cfg.Model.Cfg.Dims
+	s := &server{
+		cfg:       cfg,
+		pool:      pool,
+		bindings:  bindings,
+		stream:    stream,
+		batcher:   batcher,
+		admission: admission,
+		cache:     NewShardedCache(cfg.CacheSize, cfg.CacheShards, dims[len(dims)-1]),
+		policy:    policy,
 
-	dispatch := func(batch []Request, closeAt float64) error {
-		stats.Batches++
-		batchReqSum += len(batch)
-		completions := make([]float64, 0, len(batch))
-		serveReq := func(r Request, done float64) {
-			latencies = append(latencies, done-r.Arrival)
-			completions = append(completions, done)
-			if done > lastCompletion {
-				lastCompletion = done
-			}
-		}
-		// Cache pass: hits are answered when their entry is ready (an
-		// in-flight entry behaves as a future); misses are coalesced per
-		// vertex and sent to the pool.
-		var order []int32
-		waiting := make(map[int32][]Request)
-		for _, r := range batch {
-			key := CacheKey{Vertex: r.Vertex, Version: cfg.ModelVersion}
-			if _, readyAt, ok := cache.Get(key); ok {
-				serveReq(r, math.Max(closeAt, readyAt))
-				continue
-			}
-			if _, dup := waiting[r.Vertex]; !dup {
-				order = append(order, r.Vertex)
-			}
-			waiting[r.Vertex] = append(waiting[r.Vertex], r)
-		}
-		kind := hw.CPU // cache-only batches are answered by the host
-		if len(order) > 0 {
-			w, err := route(len(order), closeAt)
-			if err != nil {
-				return err
-			}
-			res, err := w.pipe.RunBatch(order)
-			if err != nil {
-				return err
-			}
-			done := w.pipe.CompleteAfter(closeAt, res.Stage)
-			kind = w.pipe.Device().Kind
-			served := 0
-			for i, v := range order {
-				emb := append([]float32(nil), res.Logits.Row(i)...)
-				cache.Put(CacheKey{Vertex: v, Version: cfg.ModelVersion}, emb, done)
-				for _, r := range waiting[v] {
-					serveReq(r, done)
-					stats.Computed++
-					served++
-				}
-			}
-			svc := perfmodel.ServingServiceSec(res.Stage)
-			stats.MeanServiceSec += svc
-			computedBatches++
-			stats.EdgesPerSec += res.Edges // normalized by makespan below
-			w.stats.Batches++
-			w.stats.Requests += served
-			w.stats.BusySec += svc
-			stats.Routes = append(stats.Routes, w.idx)
-		}
-		admission.DispatchedKind(kind, completions)
-		return nil
+		stats:     &Stats{Offered: cfg.NumRequests, Routes: make([]int, 0, cfg.NumRequests)},
+		latencies: make([]float64, 0, cfg.NumRequests),
+
+		keys:        make([]CacheKey, cfg.MaxBatch),
+		ready:       make([]float64, cfg.MaxBatch),
+		hit:         make([]bool, cfg.MaxBatch),
+		order:       make([]int32, 0, cfg.MaxBatch),
+		putKeys:     make([]CacheKey, 0, cfg.MaxBatch),
+		putEmbs:     make([][]float32, 0, cfg.MaxBatch),
+		completions: make([]float64, 0, cfg.MaxBatch),
+		vertexGen:   make([]uint32, cfg.Data.Graph.NumVertices),
 	}
+	return s, nil
+}
 
-	for i := 0; i < cfg.NumRequests; i++ {
-		r := stream.Next()
-		for {
-			batch, closeAt := batcher.CloseExpired(r.Arrival)
-			if batch == nil {
-				break
-			}
-			if err := dispatch(batch, closeAt); err != nil {
-				return nil, err
-			}
+// serveReq records one answered request at its virtual completion time.
+func (s *server) serveReq(r Request, done float64) {
+	s.latencies = append(s.latencies, done-r.Arrival)
+	s.completions = append(s.completions, done)
+	if done > s.lastCompletion {
+		s.lastCompletion = done
+	}
+}
+
+// dispatch runs one closed batch through cache → route → compute → publish.
+func (s *server) dispatch(batch []Request, closeAt float64) error {
+	s.stats.Batches++
+	s.batchReqSum += len(batch)
+	s.completions = s.completions[:0]
+
+	// Cache pass, batched: one lock round-trip per touched shard. Hits are
+	// answered when their entry is ready (an in-flight entry behaves as a
+	// future); misses are coalesced per vertex via the generation stamp and
+	// sent to the pool.
+	s.gen++
+	if s.gen == 0 { // generation wrapped: invalidate every stamp
+		for i := range s.vertexGen {
+			s.vertexGen[i] = 0
 		}
-		if !admission.Admit(r.Arrival) {
-			stats.Rejected++
+		s.gen = 1
+	}
+	keys, ready, hit := s.keys[:len(batch)], s.ready[:len(batch)], s.hit[:len(batch)]
+	for i, r := range batch {
+		keys[i] = CacheKey{Vertex: r.Vertex, Version: s.cfg.ModelVersion}
+	}
+	s.cache.GetMany(keys, ready, hit, nil)
+	s.order = s.order[:0]
+	for i, r := range batch {
+		if hit[i] {
+			s.serveReq(r, math.Max(closeAt, ready[i]))
 			continue
 		}
-		if batch, closeAt := batcher.Add(r); batch != nil {
-			if err := dispatch(batch, closeAt); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if batch, closeAt := batcher.Flush(); batch != nil {
-		if err := dispatch(batch, closeAt); err != nil {
-			return nil, err
+		if s.vertexGen[r.Vertex] != s.gen {
+			s.vertexGen[r.Vertex] = s.gen
+			s.order = append(s.order, r.Vertex)
 		}
 	}
 
-	stats.Served = len(latencies)
-	stats.summarizeLatencies(latencies)
-	hits, _, evictions := cache.Stats()
+	kind := hw.CPU // cache-only batches are answered by the host
+	if len(s.order) > 0 {
+		s.routeReq = RouteRequest{
+			Computed: len(s.order),
+			CloseAt:  closeAt,
+			Small:    s.batcher.Small(len(s.order)),
+			Targets:  s.order,
+		}
+		var dec *RouteDecision
+		if s.cfg.RouteTrace {
+			s.stats.RouteTrace = append(s.stats.RouteTrace, RouteDecision{Batch: len(s.stats.Routes)})
+			dec = &s.stats.RouteTrace[len(s.stats.RouteTrace)-1]
+		}
+		wi, err := s.policy.Route(&s.routeReq, dec)
+		if err != nil {
+			return err
+		}
+		w := s.pool[wi]
+		res, err := w.pipe.RunBatch(s.order)
+		if err != nil {
+			return err
+		}
+		done := w.pipe.CompleteAfter(closeAt, res.Stage)
+		kind = w.pipe.Device().Kind
+		s.putKeys, s.putEmbs = s.putKeys[:0], s.putEmbs[:0]
+		for i, v := range s.order {
+			s.putKeys = append(s.putKeys, CacheKey{Vertex: v, Version: s.cfg.ModelVersion})
+			s.putEmbs = append(s.putEmbs, res.Logits.Row(i))
+		}
+		// PutMany copies each row into the shard arena, so the views into
+		// the worker's workspace are not retained past this call.
+		s.cache.PutMany(s.putKeys, s.putEmbs, done)
+		served := 0
+		for i, r := range batch {
+			if hit[i] {
+				continue
+			}
+			s.serveReq(r, done)
+			s.stats.Computed++
+			served++
+		}
+		svc := perfmodel.ServingServiceSec(res.Stage)
+		s.stats.MeanServiceSec += svc
+		s.computedBatches++
+		s.stats.EdgesPerSec += res.Edges // normalized by makespan in finish
+		w.stats.Batches++
+		w.stats.Requests += served
+		w.stats.BusySec += svc
+		s.stats.Routes = append(s.stats.Routes, wi)
+		s.policy.Observe(wi, s.order)
+	}
+	s.admission.DispatchedKind(kind, s.completions)
+	return nil
+}
+
+// offer feeds one arrival through deadline-expiry, admission, and batching —
+// the event loop's body, exposed for the zero-alloc gate and benchmarks.
+func (s *server) offer(r Request) error {
+	for {
+		batch, closeAt := s.batcher.CloseExpired(r.Arrival)
+		if batch == nil {
+			break
+		}
+		if err := s.dispatch(batch, closeAt); err != nil {
+			return err
+		}
+	}
+	if !s.admission.Admit(r.Arrival) {
+		s.stats.Rejected++
+		return nil
+	}
+	if batch, closeAt := s.batcher.Add(r); batch != nil {
+		if err := s.dispatch(batch, closeAt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish flushes the open batch and summarizes the run.
+func (s *server) finish() (*Stats, error) {
+	if batch, closeAt := s.batcher.Flush(); batch != nil {
+		if err := s.dispatch(batch, closeAt); err != nil {
+			return nil, err
+		}
+	}
+	stats := s.stats
+	stats.Served = len(s.latencies)
+	stats.summarizeLatencies(s.latencies)
+	hits, _, evictions := s.cache.Stats()
 	stats.CacheHits = hits
 	stats.Evictions = evictions
 	if stats.Served > 0 {
 		stats.HitRate = float64(stats.Served-stats.Computed) / float64(stats.Served)
 	}
 	if stats.Batches > 0 {
-		stats.MeanBatch = float64(batchReqSum) / float64(stats.Batches)
+		stats.MeanBatch = float64(s.batchReqSum) / float64(stats.Batches)
 	}
-	if computedBatches > 0 {
-		stats.MeanServiceSec /= float64(computedBatches)
+	if s.computedBatches > 0 {
+		stats.MeanServiceSec /= float64(s.computedBatches)
 	}
-	stats.MakespanSec = lastCompletion
+	stats.MakespanSec = s.lastCompletion
 	if stats.MakespanSec > 0 {
 		stats.ThroughputRPS = float64(stats.Served) / stats.MakespanSec
 		stats.EdgesPerSec /= stats.MakespanSec
 	}
-	for _, w := range pool {
+	for _, w := range s.pool {
 		stats.PerDevice = append(stats.PerDevice, w.stats)
 	}
-
-	pred, err := pool[0].pipe.Model().PredictServing(servingLoad(cfg, bindings, 1-stats.HitRate))
+	pred, err := s.pool[0].pipe.Model().PredictServing(servingLoad(s.cfg, s.bindings, 1-stats.HitRate))
 	if err != nil {
 		return nil, err
 	}
@@ -353,20 +414,42 @@ func Run(cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
+// Run drives the full open-loop stream through the serving stack and
+// returns the measured statistics plus the analytic prediction for the same
+// operating point.
+func Run(cfg Config) (*Stats, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.NumRequests; i++ {
+		if err := s.offer(s.stream.Next()); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish()
+}
+
 // setKindCaps bounds each device kind's in-flight admission share on mixed
 // pools: capacity split proportionally to the kind's worker count, so one
 // slow kind's late completions cannot occupy the whole queue and starve the
 // kinds that are keeping up. Single-kind pools keep the plain global bound.
 func setKindCaps(a *AdmissionController, pool []*worker, queueCap int) {
-	counts := map[hw.Kind]int{}
+	var counts [hw.KindCount]int
+	kinds := 0
 	for _, w := range pool {
+		if counts[w.pipe.Device().Kind] == 0 {
+			kinds++
+		}
 		counts[w.pipe.Device().Kind]++
 	}
-	if len(counts) < 2 {
+	if kinds < 2 {
 		return
 	}
 	for kind, n := range counts {
-		a.SetKindCap(kind, max(1, queueCap*n/len(pool)))
+		if n > 0 {
+			a.SetKindCap(hw.Kind(kind), max(1, queueCap*n/len(pool)))
+		}
 	}
 }
 

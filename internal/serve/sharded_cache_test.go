@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// traceEmb builds a distinguishable embedding for a key at a given put
+// ordinal (fresh slice per call — the legacy cache retains it).
+func traceEmb(k CacheKey, op, stride int) []float32 {
+	e := make([]float32, stride)
+	for i := range e {
+		e[i] = float32(int(k.Vertex)*1000 + k.Version*100 + op + i)
+	}
+	return e
+}
+
+// The 1-shard ≡ legacy-LRU property: on any request trace, a 1-shard
+// ShardedCache must reproduce the legacy EmbeddingCache's hit/miss/eviction
+// counters, resident set, per-entry ready times, per-lookup results, and
+// stored values exactly. The trace mixes single-key ops with GetMany/PutMany
+// batches (applied to the oracle as the equivalent sequential ops), across
+// capacities that force heavy eviction.
+func TestShardedCacheMatchesLegacyLRU(t *testing.T) {
+	const stride = 6
+	const vertices = 40
+	for _, capacity := range []int{1, 3, 8, 17, 64} {
+		t.Run(fmt.Sprintf("cap%d", capacity), func(t *testing.T) {
+			rng := tensor.NewRNG(uint64(1000 + capacity))
+			legacy := NewEmbeddingCache(capacity)
+			sharded := NewShardedCache(capacity, 1, stride)
+			if got := sharded.Shards(); got != 1 {
+				t.Fatalf("asked for 1 shard, got %d", got)
+			}
+			randKey := func() CacheKey {
+				return CacheKey{
+					Vertex:  int32(rng.Uint64() % vertices),
+					Version: 1 + int(rng.Uint64()%2),
+				}
+			}
+			keys := make([]CacheKey, 0, 8)
+			ready := make([]float64, 8)
+			hit := make([]bool, 8)
+			embs := make([][]float32, 8)
+			for op := 0; op < 4000; op++ {
+				switch rng.Uint64() % 5 {
+				case 0: // Put
+					k := randKey()
+					at := float64(op)
+					legacy.Put(k, traceEmb(k, op, stride), at)
+					sharded.Put(k, traceEmb(k, op, stride), at)
+				case 1, 2: // Get
+					k := randKey()
+					le, lr, lok := legacy.Get(k)
+					se, sr, sok := sharded.Get(k)
+					if lok != sok || lr != sr {
+						t.Fatalf("op %d: Get(%v) legacy (%v,%v) sharded (%v,%v)", op, k, lr, lok, sr, sok)
+					}
+					if lok {
+						for i := range le {
+							if le[i] != se[i] {
+								t.Fatalf("op %d: Get(%v) value diverged at %d: %v vs %v", op, k, i, le, se)
+							}
+						}
+					}
+				case 3: // GetMany vs sequential legacy Gets (duplicates included)
+					n := 1 + int(rng.Uint64()%8)
+					keys = keys[:0]
+					for i := 0; i < n; i++ {
+						keys = append(keys, randKey())
+					}
+					sharded.GetMany(keys, ready, hit, embs)
+					for i, k := range keys {
+						le, lr, lok := legacy.Get(k)
+						if lok != hit[i] || (lok && lr != ready[i]) {
+							t.Fatalf("op %d: GetMany[%d]=%v legacy (%v,%v) sharded (%v,%v)",
+								op, i, k, lr, lok, ready[i], hit[i])
+						}
+						if lok && le[0] != embs[i][0] {
+							t.Fatalf("op %d: GetMany[%d] value %v vs %v", op, i, embs[i][0], le[0])
+						}
+					}
+				case 4: // PutMany vs sequential legacy Puts (one shared ready time)
+					n := 1 + int(rng.Uint64()%8)
+					keys = keys[:0]
+					at := float64(op) + 0.5
+					for i := 0; i < n; i++ {
+						k := randKey()
+						keys = append(keys, k)
+						embs[i] = traceEmb(k, op, stride)
+						legacy.Put(k, traceEmb(k, op, stride), at)
+					}
+					sharded.PutMany(keys, embs[:n], at)
+				}
+			}
+			lh, lm, le := legacy.Stats()
+			sh, sm, se := sharded.Stats()
+			if lh != sh || lm != sm || le != se {
+				t.Fatalf("counters diverged: legacy h%d m%d e%d, sharded h%d m%d e%d", lh, lm, le, sh, sm, se)
+			}
+			if legacy.Len() != sharded.Len() {
+				t.Fatalf("resident count diverged: %d vs %d", legacy.Len(), sharded.Len())
+			}
+			// Resident sets must match key for key (Peek leaves counters and
+			// LRU order untouched on both sides).
+			for v := int32(0); v < vertices; v++ {
+				for ver := 1; ver <= 2; ver++ {
+					k := CacheKey{Vertex: v, Version: ver}
+					lr, lok := legacy.Peek(k)
+					sr, sok := sharded.Peek(k)
+					if lok != sok || lr != sr {
+						t.Fatalf("resident set diverged at %v: legacy (%v,%v) sharded (%v,%v)", k, lr, lok, sr, sok)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Shard-count plumbing: the constructor rounds shards down to a power of
+// two, clamps to capacity, spreads capacity with remainder, and a filled
+// cache reaches exactly its total capacity.
+func TestShardedCacheShardClamp(t *testing.T) {
+	cases := []struct{ capacity, shards, want int }{
+		{10, 64, 8}, // clamped to capacity, rounded down to pow2
+		{4, 3, 2},
+		{100, 4, 4},
+		{7, 0, 1}, // 0 picks 1
+		{3, -2, 1},
+	}
+	for _, c := range cases {
+		got := NewShardedCache(c.capacity, c.shards, 4).Shards()
+		if got != c.want {
+			t.Fatalf("NewShardedCache(cap=%d, shards=%d) settled on %d shards, want %d",
+				c.capacity, c.shards, got, c.want)
+		}
+	}
+	// Remainder spread: capacity 10 over 8 shards still holds 10 entries.
+	c := NewShardedCache(10, 8, 4)
+	for v := int32(0); v < 1000; v++ {
+		c.Put(CacheKey{Vertex: v, Version: 1}, []float32{1, 2, 3, 4}, 0)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("capacity-10 cache holds %d entries after 1000 puts", c.Len())
+	}
+	// Disabled cache: every Get misses, Put is a no-op.
+	off := NewShardedCache(0, 4, 4)
+	off.Put(CacheKey{Vertex: 1, Version: 1}, []float32{1}, 0)
+	if _, _, ok := off.Get(CacheKey{Vertex: 1, Version: 1}); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if h, m, _ := off.Stats(); h != 0 || m != 1 {
+		t.Fatalf("disabled cache counters h%d m%d, want h0 m1", h, m)
+	}
+	if off.Len() != 0 {
+		t.Fatal("disabled cache holds entries")
+	}
+}
+
+// Ownership rule: Put copies into the arena, so mutating (or reusing) the
+// caller's buffer afterwards cannot corrupt the resident entry — the
+// slice-retention footgun the legacy cache documents away is fixed
+// structurally here. Covers both the insert and the refresh path.
+func TestShardedCachePutCopies(t *testing.T) {
+	c := NewShardedCache(8, 2, 4)
+	k := CacheKey{Vertex: 5, Version: 1}
+	buf := []float32{1, 2, 3, 4}
+	c.Put(k, buf, 1.0)
+	buf[0] = -99 // caller reuses its buffer
+	if emb, _, ok := c.Get(k); !ok || emb[0] != 1 {
+		t.Fatalf("insert retained the caller's slice: got %v", emb)
+	}
+	buf2 := []float32{9, 8, 7, 6}
+	c.Put(k, buf2, 2.0) // refresh
+	buf2[1] = -99
+	emb, at, ok := c.Get(k)
+	if !ok || emb[1] != 8 || at != 2.0 {
+		t.Fatalf("refresh retained the caller's slice: got %v at %v", emb, at)
+	}
+}
+
+// The -race hammer, generalized over shard counts: concurrent mixed
+// single-key and batch traffic must stay structurally sound (bounded
+// residency, exact lookup accounting).
+func TestShardedCacheConcurrentAccess(t *testing.T) {
+	const (
+		goroutines = 8
+		opsPer     = 500
+		batch      = 6
+		stride     = 5
+		capacity   = 64
+	)
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			c := NewShardedCache(capacity, shards, stride)
+			var wg sync.WaitGroup
+			var lookups int64
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := tensor.NewRNG(uint64(g) + 1)
+					keys := make([]CacheKey, batch)
+					ready := make([]float64, batch)
+					hit := make([]bool, batch)
+					embs := make([][]float32, batch)
+					emb := make([]float32, stride)
+					for op := 0; op < opsPer; op++ {
+						k := CacheKey{Vertex: int32(rng.Uint64() % 200), Version: 1}
+						switch op % 4 {
+						case 0:
+							c.Put(k, emb, float64(op))
+						case 1:
+							c.Get(k)
+						case 2:
+							for i := range keys {
+								keys[i] = CacheKey{Vertex: int32(rng.Uint64() % 200), Version: 1}
+							}
+							c.GetMany(keys, ready, hit, nil)
+						case 3:
+							for i := range keys {
+								keys[i] = CacheKey{Vertex: int32(rng.Uint64() % 200), Version: 1}
+								embs[i] = emb
+							}
+							c.PutMany(keys, embs, float64(op))
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			// Per goroutine: opsPer/4 single Gets + opsPer/4 GetMany batches.
+			lookups = goroutines * (opsPer/4 + opsPer/4*batch)
+			h, m, _ := c.Stats()
+			if h+m != lookups {
+				t.Fatalf("lookup accounting: %d hits + %d misses != %d lookups", h, m, lookups)
+			}
+			if c.Len() > capacity {
+				t.Fatalf("resident %d exceeds capacity %d", c.Len(), capacity)
+			}
+		})
+	}
+}
+
+// Steady-state cache ops must not allocate: Get, Put (insert-with-eviction
+// and refresh), and the batch APIs all run over preallocated shard state.
+func TestShardedCacheZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact allocation gate is skipped under -race")
+	}
+	const stride = 8
+	c := NewShardedCache(32, 4, stride)
+	emb := make([]float32, stride)
+	keys := make([]CacheKey, 8)
+	ready := make([]float64, 8)
+	hit := make([]bool, 8)
+	v := int32(0)
+	iterate := func() {
+		for i := range keys {
+			keys[i] = CacheKey{Vertex: v % 100, Version: 1}
+			v++
+		}
+		c.GetMany(keys, ready, hit, nil)
+		for _, k := range keys {
+			c.Put(k, emb, 1.0)
+		}
+		c.Get(keys[0])
+	}
+	for i := 0; i < 50; i++ {
+		iterate()
+	}
+	if a := testing.AllocsPerRun(20, iterate); a != 0 {
+		t.Fatalf("cache steady state allocated %.1f times per run, want 0", a)
+	}
+}
