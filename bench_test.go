@@ -132,6 +132,25 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.ReportMetric(report.AffinityHitDelta, "affinity-hit-delta")
 }
 
+// BenchmarkExtServeSLO runs the SLO-class workload comparison: a recorded
+// three-cohort trace (Poisson/Gamma/Weibull arrivals, diurnal envelope,
+// per-class SLOs) replayed under every batch-formation policy, reporting the
+// per-formation fairness and the interactive-tail delta.
+func BenchmarkExtServeSLO(b *testing.B) {
+	b.ReportAllocs()
+	var report *bench.ServeSLOReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		report, err = bench.ServeSLO(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(report.InteractiveP99DeltaMs, "interactive-p99-delta-ms")
+	b.ReportMetric(report.Jain["fcfs"], "jain-fcfs")
+	b.ReportMetric(report.Jain["priority"], "jain-priority")
+}
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

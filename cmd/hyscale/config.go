@@ -51,6 +51,16 @@ type options struct {
 	serveShards   int
 	servePolicy   string
 	routeTrace    bool
+	// serveWorkload is the -serve-workload cohort spec (see
+	// serve.ParseWorkloadSpec); empty keeps the single Poisson/Zipf stream.
+	serveWorkload string
+	// serveFormation is the -serve-formation batch-formation policy
+	// (fcfs | priority | sjf; empty = fcfs).
+	serveFormation string
+	// serveTrace is the -serve-trace directive: "record=PATH" records the
+	// run's arrival stream to PATH and replays it in-run; "replay=PATH"
+	// serves a previously recorded trace.
+	serveTrace string
 }
 
 // runSpec is a fully validated run: the scaled dataset spec, resolved model
@@ -67,7 +77,16 @@ type runSpec struct {
 	SIMD tensor.SIMDLevel
 	// Pipeline is the parsed -pipeline epoch schedule (serial|prefetch).
 	Pipeline core.PipelineMode
-	opts     options
+	// Workload is the parsed -serve-workload cohort spec (nil = legacy
+	// single stream).
+	Workload *serve.WorkloadSpec
+	// Formation is the normalized -serve-formation policy name.
+	Formation string
+	// TraceMode/TracePath are the parsed -serve-trace directive
+	// ("record" or "replay"; empty = no trace).
+	TraceMode string
+	TracePath string
+	opts      options
 }
 
 // buildConfig resolves and validates every flag. Bad values return errors
@@ -180,6 +199,28 @@ func buildConfig(o options) (*runSpec, error) {
 		if _, err := serve.ParsePolicy(o.servePolicy); err != nil {
 			return nil, fmt.Errorf("-serve-policy %q: %w", o.servePolicy, err)
 		}
+		formation, err := serve.ParseFormation(o.serveFormation)
+		if err != nil {
+			return nil, fmt.Errorf("-serve-formation %q: %w", o.serveFormation, err)
+		}
+		r.Formation = formation
+		if o.serveWorkload != "" {
+			spec, err := serve.ParseWorkloadSpec(o.serveWorkload)
+			if err != nil {
+				return nil, fmt.Errorf("-serve-workload: %w", err)
+			}
+			r.Workload = spec
+		}
+		if o.serveTrace != "" {
+			mode, path, ok := strings.Cut(o.serveTrace, "=")
+			if !ok || path == "" || (mode != "record" && mode != "replay") {
+				return nil, fmt.Errorf("-serve-trace %q: want record=PATH or replay=PATH", o.serveTrace)
+			}
+			if mode == "replay" && r.Workload != nil {
+				return nil, fmt.Errorf("-serve-trace replay with -serve-workload: a replayed trace already pins the arrival stream")
+			}
+			r.TraceMode, r.TracePath = mode, path
+		}
 	}
 	return r, nil
 }
@@ -256,6 +297,8 @@ func (r *runSpec) serveConfig(ds *datagen.Dataset, model *gnn.Model) serve.Confi
 		Workers:          r.opts.serveWorkers,
 		CPUPeer:          r.opts.servePeer,
 		SmallBatchCut:    r.opts.serveSmall,
+		Workload:         r.Workload,
+		Formation:        r.Formation,
 		QueueCap:         r.opts.serveQueue,
 		CacheSize:        r.opts.serveCache,
 		CacheShards:      r.opts.serveShards,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gnn"
 	"repro/internal/hw"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -281,6 +282,52 @@ func TestBuildConfigSIMD(t *testing.T) {
 		}
 		if r.SIMD != tc.want {
 			t.Fatalf("-simd %q resolved to %v, want %v", tc.in, r.SIMD, tc.want)
+		}
+	}
+}
+
+// The serving workload, formation, and trace flags parse and normalize, and
+// bad directives are rejected before any work starts.
+func TestBuildConfigServeWorkloadFlags(t *testing.T) {
+	o := validOptions()
+	o.serveMode = true
+	o.serveWorkload = "web,rate=4000,class=interactive,zipf=1.1;etl,rate=1500,dist=weibull,shape=0.7,class=bulk"
+	o.serveFormation = "priority-fcfs"
+	o.serveTrace = "record=/tmp/hyscale-trace.txt"
+	r, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload == nil || len(r.Workload.Cohorts) != 2 {
+		t.Fatalf("workload spec not parsed: %+v", r.Workload)
+	}
+	if r.Formation != serve.FormationPriority {
+		t.Fatalf("formation = %q, want normalized %q", r.Formation, serve.FormationPriority)
+	}
+	if r.TraceMode != "record" || r.TracePath != "/tmp/hyscale-trace.txt" {
+		t.Fatalf("trace directive parsed to (%q, %q)", r.TraceMode, r.TracePath)
+	}
+	cfg := r.serveConfig(nil, nil)
+	if cfg.Workload != r.Workload || cfg.Formation != serve.FormationPriority {
+		t.Fatalf("serveConfig did not wire workload/formation: %+v", cfg)
+	}
+
+	bad := []func(*options){
+		func(o *options) { o.serveFormation = "speculative" },
+		func(o *options) { o.serveWorkload = "web" }, // missing rate
+		func(o *options) { o.serveTrace = "dump=/tmp/x" },
+		func(o *options) { o.serveTrace = "record=" },
+		func(o *options) { // replay contradicts a generated workload
+			o.serveWorkload = "web,rate=100"
+			o.serveTrace = "replay=/tmp/x"
+		},
+	}
+	for i, mutate := range bad {
+		b := validOptions()
+		b.serveMode = true
+		mutate(&b)
+		if _, err := buildConfig(b); err == nil {
+			t.Errorf("bad serve flags case %d accepted", i)
 		}
 	}
 }

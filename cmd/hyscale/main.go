@@ -87,6 +87,9 @@ func main() {
 	flag.IntVar(&o.serveShards, "serve-shards", 1, "serving: embedding-cache lock-striped shards (rounded down to a power of two; 1 keeps the global-LRU eviction order)")
 	flag.StringVar(&o.servePolicy, "serve-policy", "earliest", "serving: routing policy: earliest | least-loaded | affinity")
 	flag.BoolVar(&o.routeTrace, "route-trace", false, "serving: record a per-batch routing decision trace (chosen worker plus every counterfactual) and print the head of it")
+	flag.StringVar(&o.serveWorkload, "serve-workload", "", "serving: multi-cohort workload spec, e.g. 'web,rate=4000,class=interactive,zipf=1.1;etl,rate=1500,dist=weibull,shape=0.7,class=bulk' (replaces -serve-rate/-serve-zipf)")
+	flag.StringVar(&o.serveFormation, "serve-formation", "", "serving: batch-formation policy: fcfs (default) | priority | sjf")
+	flag.StringVar(&o.serveTrace, "serve-trace", "", "serving: record=PATH records the arrival stream to PATH and replays it in-run; replay=PATH serves a recorded trace")
 	flag.Parse()
 	o.hybrid, o.tfp, o.drm = !*noHybrid, !*noTFP, !*noDRM
 
@@ -193,13 +196,56 @@ func runSingleNode(r *runSpec, coreCfg core.Config, o options) (*gnn.Model, erro
 // runServe drives the open-loop stream against the trained model.
 func runServe(r *runSpec, ds *datagen.Dataset, model *gnn.Model) error {
 	cfg := r.serveConfig(ds, model)
+	switch r.TraceMode {
+	case "record":
+		// Record the configured stream once, persist it, and replay it in-run
+		// so the reported Stats are exactly what a later replay reproduces.
+		tr, err := serve.GenerateTrace(cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(r.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := serve.WriteTrace(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nrecorded %d arrivals to %s\n", len(tr.Requests), r.TracePath)
+		cfg.Workload, cfg.Replay = nil, tr
+	case "replay":
+		f, err := os.Open(r.TracePath)
+		if err != nil {
+			return err
+		}
+		tr, err := serve.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nreplaying %d recorded arrivals from %s\n", len(tr.Requests), r.TracePath)
+		cfg.Replay = tr
+		if cfg.NumRequests > len(tr.Requests) {
+			cfg.NumRequests = len(tr.Requests)
+		}
+	}
 	peer := ""
 	if cfg.CPUPeer {
 		peer = " + CPU peer"
 	}
-	fmt.Printf("\nServing %d requests at %.0f req/s (Zipf %.2f, batch ≤%d, window %.0fµs, cache %d, %d workers%s)\n\n",
-		cfg.NumRequests, cfg.RatePerSec, cfg.ZipfExponent, cfg.MaxBatch,
-		cfg.WindowSec*1e6, cfg.CacheSize, cfg.Workers, peer)
+	stream := fmt.Sprintf("at %.0f req/s (Zipf %.2f)", cfg.RatePerSec, cfg.ZipfExponent)
+	if cfg.Workload != nil {
+		stream = fmt.Sprintf("from %d cohorts", len(cfg.Workload.Cohorts))
+	} else if cfg.Replay != nil {
+		stream = "from the recorded trace"
+	}
+	fmt.Printf("\nServing %d requests %s (batch ≤%d, window %.0fµs, formation %s, cache %d, %d workers%s)\n\n",
+		cfg.NumRequests, stream, cfg.MaxBatch,
+		cfg.WindowSec*1e6, cfg.Formation, cfg.CacheSize, cfg.Workers, peer)
 	st, err := serve.Run(cfg)
 	if err != nil {
 		return err

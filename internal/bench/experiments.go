@@ -414,6 +414,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtServeHetero(seed)
 	case "ext-kernels":
 		return ExtKernels(seed)
+	case "ext-serve-slo":
+		return ExtServeSLO(seed)
 	case "ext-serve-throughput":
 		return ExtServeThroughput(seed)
 	case "throughput":
@@ -429,5 +431,5 @@ func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
 		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
 		"ext-multinode", "ext-hetero", "ext-serve", "ext-serve-hetero",
-		"ext-kernels", "ext-serve-throughput"}
+		"ext-serve-slo", "ext-kernels", "ext-serve-throughput"}
 }

@@ -87,6 +87,10 @@ type ServeReport struct {
 	// AffinityHitDelta = affinity hit rate − earliest hit rate, recorded
 	// whichever way it lands (the sketch can help or hurt at a given load).
 	AffinityHitDelta float64 `json:"affinity_vs_earliest_hit_delta"`
+
+	// SLO is the per-class workload comparison: one recorded trace replayed
+	// under every batch-formation policy (see ServeSLO).
+	SLO *ServeSLOReport `json:"slo"`
 }
 
 // cacheWorkload runs G goroutines of opsPerG mixed single-key operations
@@ -421,6 +425,12 @@ func ServeThroughput(seed uint64) (*ServeReport, error) {
 		}
 	}
 	report.AffinityHitDelta = affinityHit - earliestHit
+
+	// --- Per-class SLO comparison: one trace, every formation policy.
+	report.SLO, err = ServeSLO(seed)
+	if err != nil {
+		return nil, err
+	}
 	return report, nil
 }
 

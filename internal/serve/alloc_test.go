@@ -33,7 +33,8 @@ func TestServingSteadyStateZeroAlloc(t *testing.T) {
 	}
 	feed := func(n int) {
 		for i := 0; i < n; i++ {
-			if err := s.offer(s.stream.Next()); err != nil {
+			r, _ := s.stream.Next()
+			if err := s.offer(r); err != nil {
 				t.Fatal(err)
 			}
 		}

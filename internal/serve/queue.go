@@ -32,6 +32,25 @@ type AdmissionController struct {
 	waiting  int
 	inflight [hw.KindCount]completionHeap
 	caps     [hw.KindCount]int
+	// buckets meter admission per SLO class (dense array, no map on the
+	// admission hot path); inactive buckets admit freely.
+	buckets [NumClasses]classBucket
+}
+
+// ClassRateLimit meters one SLO class's admission with a token bucket on
+// the virtual clock: RatePerSec sustained refill, Burst tokens of depth.
+type ClassRateLimit struct {
+	Class      SLOClass
+	RatePerSec float64
+	Burst      int
+}
+
+// classBucket is one SLO class's token-bucket state.
+type classBucket struct {
+	rate, burst float64
+	tokens      float64
+	last        float64 // virtual time of the last refill
+	active      bool
 }
 
 // NewAdmissionController builds a controller; capacity must be positive.
@@ -49,6 +68,50 @@ func (a *AdmissionController) SetKindCap(kind hw.Kind, cap int) {
 		cap = 0
 	}
 	a.caps[kind] = cap
+}
+
+// SetClassRate meters an SLO class with a token bucket: sustained
+// ratePerSec refill and burst tokens of depth (burst < 1 clamps to 1). The
+// bucket starts full.
+func (a *AdmissionController) SetClassRate(class SLOClass, ratePerSec float64, burst int) error {
+	if class >= NumClasses {
+		return fmt.Errorf("serve: SLO class %d out of range", class)
+	}
+	if ratePerSec <= 0 {
+		return fmt.Errorf("serve: non-positive class rate %v for %s", ratePerSec, class)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	a.buckets[class] = classBucket{
+		rate: ratePerSec, burst: float64(burst), tokens: float64(burst), active: true,
+	}
+	return nil
+}
+
+// AdmitClass is Admit with per-class token-bucket metering: a request whose
+// class has exhausted its bucket is rejected without consuming queue
+// capacity, and a request the global bound rejects does not consume a
+// token. Arrivals must be offered in non-decreasing virtual time.
+func (a *AdmissionController) AdmitClass(now float64, class SLOClass) bool {
+	if class >= NumClasses { // defensive: unknown classes share the global bound only
+		return a.Admit(now)
+	}
+	b := &a.buckets[class]
+	if b.active {
+		b.tokens = math.Min(b.burst, b.tokens+(now-b.last)*b.rate)
+		b.last = now
+		if b.tokens < 1 {
+			return false
+		}
+	}
+	if !a.Admit(now) {
+		return false
+	}
+	if b.active {
+		b.tokens--
+	}
+	return true
 }
 
 // Admit reports whether a request arriving at virtual time now fits, and
@@ -177,7 +240,10 @@ func (h *completionHeap) drain(now float64) {
 type RequestStream struct {
 	rate float64
 	cdf  []float64 // cumulative popularity over vertex IDs
-	rng  *tensor.RNG
+	// rng is held behind the uniformSource seam so the degenerate-draw
+	// regression test can script the u == 0 draw a SplitMix64 stream will
+	// essentially never produce.
+	rng  uniformSource
 	now  float64
 	next int
 }
@@ -193,30 +259,20 @@ func NewRequestStream(numVertices int, ratePerSec, zipfExponent float64, rng *te
 	if zipfExponent < 0 {
 		return nil, fmt.Errorf("serve: negative Zipf exponent %v", zipfExponent)
 	}
-	cdf := make([]float64, numVertices)
-	sum := 0.0
-	for v := 0; v < numVertices; v++ {
-		sum += 1 / math.Pow(float64(v+1), zipfExponent)
-		cdf[v] = sum
-	}
-	for v := range cdf {
-		cdf[v] /= sum
-	}
-	return &RequestStream{rate: ratePerSec, cdf: cdf, rng: rng}, nil
+	return &RequestStream{rate: ratePerSec, cdf: zipfCDF(numVertices, zipfExponent), rng: rng}, nil
 }
 
 // Next returns the next request; arrivals are strictly ordered in time.
+// The inter-arrival draw goes through positiveUniform: Float64 spans [0, 1),
+// so the degenerate draw to guard is u == 0 (a zero gap that would stall the
+// virtual clock), not the unreachable u → 1 end the old guard watched.
 func (s *RequestStream) Next() Request {
-	u := s.rng.Float64()
-	for u >= 1 { // guard the log; Float64 ∈ [0,1)
-		u = s.rng.Float64()
-	}
-	s.now += -math.Log(1-u) / s.rate
+	s.now += expGap(s.rng, s.rate)
 	v := sort.SearchFloat64s(s.cdf, s.rng.Float64())
 	if v >= len(s.cdf) {
 		v = len(s.cdf) - 1
 	}
-	r := Request{ID: s.next, Vertex: int32(v), Arrival: s.now}
+	r := Request{ID: s.next, Vertex: int32(v), Arrival: s.now, Class: ClassStandard}
 	s.next++
 	return r
 }

@@ -49,6 +49,18 @@ type Config struct {
 	RatePerSec   float64
 	ZipfExponent float64
 
+	// Workload replaces the single Poisson stream with the multi-cohort
+	// engine: named cohorts with Poisson/Gamma/Weibull inter-arrivals,
+	// diurnal rate envelopes, per-cohort Zipf skew and SLO class, merged
+	// into one deterministic arrival stream. Nil keeps the legacy stream
+	// built from RatePerSec/ZipfExponent.
+	Workload *WorkloadSpec
+	// Replay serves a recorded arrival trace instead of generating arrivals
+	// (mutually exclusive with Workload): the run consumes
+	// min(NumRequests, len(trace)) requests, and two replays of the same
+	// trace produce byte-identical Stats.
+	Replay *Trace
+
 	// Serving knobs.
 	MaxBatch  int     // dynamic batcher's size cap
 	WindowSec float64 // dynamic batcher's max-wait deadline
@@ -66,8 +78,18 @@ type Config struct {
 	// the CPU peer. 0 disables the split; a positive cut requires CPUPeer
 	// on platforms with accelerators.
 	SmallBatchCut int
-	QueueCap      int // admission control: max outstanding requests (0 → 1024)
-	CacheSize     int // embedding-cache capacity in entries (0 disables)
+	// Formation names the batch-formation policy: "fcfs" (default, the
+	// pre-formation batcher's exact behavior), "priority" (class-weighted
+	// close deadlines, class-ordered batches), or "sjf"
+	// (predicted-service-aware deadlines). See ParseFormation.
+	Formation string
+	// ClassRates meters admission per SLO class with token buckets on the
+	// virtual clock, alongside the per-kind caps; classes without an entry
+	// are unmetered.
+	ClassRates []ClassRateLimit
+
+	QueueCap  int // admission control: max outstanding requests (0 → 1024)
+	CacheSize int // embedding-cache capacity in entries (0 disables)
 	// CacheShards lock-stripes the embedding cache (rounded down to a power
 	// of two, clamped to CacheSize; 0 → 1). A 1-shard cache evicts in
 	// exactly the legacy global-LRU order; more shards evict per-shard, so
@@ -133,11 +155,23 @@ func workerBindings(cfg Config) []int {
 // admission controller, cache, and routing policy, plus every scratch
 // buffer the dispatch path reuses. Its steady state (offer → batch close →
 // route → complete) performs zero heap allocations once warm.
+// arrivalSource abstracts where a run's requests come from: the legacy
+// Poisson stream, the multi-cohort workload engine, or a recorded trace.
+// Next reports false when a bounded source (a trace) is exhausted.
+type arrivalSource interface {
+	Next() (Request, bool)
+}
+
+// streamSource adapts the unbounded legacy RequestStream.
+type streamSource struct{ s *RequestStream }
+
+func (ss streamSource) Next() (Request, bool) { return ss.s.Next(), true }
+
 type server struct {
 	cfg       Config
 	pool      []*worker
 	bindings  []int
-	stream    *RequestStream
+	stream    arrivalSource
 	batcher   *DynamicBatcher
 	admission *AdmissionController
 	cache     *ShardedCache
@@ -145,18 +179,23 @@ type server struct {
 
 	stats           *Stats
 	latencies       []float64
+	latClasses      []SLOClass // class of latencies[i], for per-class quantiles
 	lastCompletion  float64
 	batchReqSum     int
 	computedBatches int
 
 	// Dispatch scratch, all MaxBatch-bounded and reused per batch.
-	keys        []CacheKey  // lookup keys, one per batch request
-	ready       []float64   // GetMany: per-request entry ready time
-	hit         []bool      // GetMany: per-request hit flag
-	order       []int32     // unique cache-missing vertices, first-seen order
-	putKeys     []CacheKey  // PutMany keys for order
-	putEmbs     [][]float32 // PutMany values (arena-copied by the cache)
-	completions []float64   // per-request virtual completion times
+	keys    []CacheKey  // lookup keys, one per batch request
+	ready   []float64   // GetMany: per-request entry ready time
+	hit     []bool      // GetMany: per-request hit flag
+	order   []int32     // unique cache-missing vertices, first-seen order
+	putKeys []CacheKey  // PutMany keys for order
+	putEmbs [][]float32 // PutMany values (arena-copied by the cache)
+	// Completion times are split by who answered: cache hits are served by
+	// the host, computed requests by the routed worker — the split is what
+	// keeps hit completions off an accelerator's in-flight share.
+	hitDone  []float64
+	compDone []float64
 	// vertexGen dedups a batch's missing vertices without a map: slot v
 	// holds the generation of the last batch that saw v.
 	vertexGen []uint32
@@ -182,11 +221,19 @@ func newServer(cfg Config) (*server, error) {
 	if cfg.SmallBatchCut > 0 && !cfg.CPUPeer && len(cfg.Plat.Accels) > 0 {
 		return nil, fmt.Errorf("serve: SmallBatchCut %d needs the CPU peer (set CPUPeer)", cfg.SmallBatchCut)
 	}
+	if cfg.Workload != nil && cfg.Replay != nil {
+		return nil, fmt.Errorf("serve: Workload and Replay are mutually exclusive")
+	}
 	policyName, err := ParsePolicy(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Policy = policyName
+	formation, err := ParseFormation(cfg.Formation)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Formation = formation
 	bindings := workerBindings(cfg)
 	rng := tensor.NewRNG(cfg.Seed)
 	pool := make([]*worker, len(bindings))
@@ -211,7 +258,7 @@ func newServer(cfg Config) (*server, error) {
 			}
 		}
 	}
-	stream, err := NewRequestStream(cfg.Data.Graph.NumVertices, cfg.RatePerSec, cfg.ZipfExponent, rng.Split())
+	stream, err := newArrivalSource(cfg, rng.Split())
 	if err != nil {
 		return nil, err
 	}
@@ -219,11 +266,30 @@ func newServer(cfg Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Formation != FormationFCFS {
+		// The sjf predictor is pool[0]'s dense service memo — prefilled
+		// above, so formation never allocates in steady state.
+		svc := func(size int) float64 {
+			v, err := pool[0].pipe.ServiceSec(size)
+			if err != nil {
+				return 0
+			}
+			return v
+		}
+		if err := batcher.SetFormation(cfg.Formation, svc); err != nil {
+			return nil, err
+		}
+	}
 	admission, err := NewAdmissionController(cfg.QueueCap)
 	if err != nil {
 		return nil, err
 	}
 	setKindCaps(admission, pool, cfg.QueueCap)
+	for _, cr := range cfg.ClassRates {
+		if err := admission.SetClassRate(cr.Class, cr.RatePerSec, cr.Burst); err != nil {
+			return nil, err
+		}
+	}
 	policy, err := newRoutePolicy(cfg.Policy, pool, admission)
 	if err != nil {
 		return nil, err
@@ -239,25 +305,66 @@ func newServer(cfg Config) (*server, error) {
 		cache:     NewShardedCache(cfg.CacheSize, cfg.CacheShards, dims[len(dims)-1]),
 		policy:    policy,
 
-		stats:     &Stats{Offered: cfg.NumRequests, Routes: make([]int, 0, cfg.NumRequests)},
-		latencies: make([]float64, 0, cfg.NumRequests),
+		stats:      &Stats{Routes: make([]int, 0, cfg.NumRequests)},
+		latencies:  make([]float64, 0, cfg.NumRequests),
+		latClasses: make([]SLOClass, 0, cfg.NumRequests),
 
-		keys:        make([]CacheKey, cfg.MaxBatch),
-		ready:       make([]float64, cfg.MaxBatch),
-		hit:         make([]bool, cfg.MaxBatch),
-		order:       make([]int32, 0, cfg.MaxBatch),
-		putKeys:     make([]CacheKey, 0, cfg.MaxBatch),
-		putEmbs:     make([][]float32, 0, cfg.MaxBatch),
-		completions: make([]float64, 0, cfg.MaxBatch),
-		vertexGen:   make([]uint32, cfg.Data.Graph.NumVertices),
+		keys:      make([]CacheKey, cfg.MaxBatch),
+		ready:     make([]float64, cfg.MaxBatch),
+		hit:       make([]bool, cfg.MaxBatch),
+		order:     make([]int32, 0, cfg.MaxBatch),
+		putKeys:   make([]CacheKey, 0, cfg.MaxBatch),
+		putEmbs:   make([][]float32, 0, cfg.MaxBatch),
+		hitDone:   make([]float64, 0, cfg.MaxBatch),
+		compDone:  make([]float64, 0, cfg.MaxBatch),
+		vertexGen: make([]uint32, cfg.Data.Graph.NumVertices),
 	}
 	return s, nil
 }
 
-// serveReq records one answered request at its virtual completion time.
-func (s *server) serveReq(r Request, done float64) {
+// streamRNG derives the arrival stream's RNG exactly as newServer does
+// (one Uint64 per pool worker, then a split), so GenerateTrace's arrivals
+// match the arrivals a run of the same Config would generate.
+func streamRNG(cfg Config) *tensor.RNG {
+	rng := tensor.NewRNG(cfg.Seed)
+	for range workerBindings(cfg) {
+		rng.Uint64()
+	}
+	return rng.Split()
+}
+
+// newArrivalSource builds cfg's arrival stream: a recorded trace when
+// Replay is set, the multi-cohort workload engine when Workload is set,
+// and the legacy single Poisson/Zipf stream otherwise.
+func newArrivalSource(cfg Config, rng *tensor.RNG) (arrivalSource, error) {
+	switch {
+	case cfg.Replay != nil:
+		return &traceSource{reqs: cfg.Replay.Requests}, nil
+	case cfg.Workload != nil:
+		return NewWorkloadStream(cfg.Workload, cfg.Data.Graph.NumVertices, rng)
+	default:
+		s, err := NewRequestStream(cfg.Data.Graph.NumVertices, cfg.RatePerSec, cfg.ZipfExponent, rng)
+		if err != nil {
+			return nil, err
+		}
+		return streamSource{s}, nil
+	}
+}
+
+// serveReq records one answered request at its virtual completion time;
+// computed says whether the routed worker answered it (false: the cache
+// did, and its completion belongs to the host).
+func (s *server) serveReq(r Request, done float64, computed bool) {
 	s.latencies = append(s.latencies, done-r.Arrival)
-	s.completions = append(s.completions, done)
+	s.latClasses = append(s.latClasses, r.Class)
+	if r.Class < NumClasses {
+		s.stats.PerClass[r.Class].Served++
+	}
+	if computed {
+		s.compDone = append(s.compDone, done)
+	} else {
+		s.hitDone = append(s.hitDone, done)
+	}
 	if done > s.lastCompletion {
 		s.lastCompletion = done
 	}
@@ -267,7 +374,7 @@ func (s *server) serveReq(r Request, done float64) {
 func (s *server) dispatch(batch []Request, closeAt float64) error {
 	s.stats.Batches++
 	s.batchReqSum += len(batch)
-	s.completions = s.completions[:0]
+	s.hitDone, s.compDone = s.hitDone[:0], s.compDone[:0]
 
 	// Cache pass, batched: one lock round-trip per touched shard. Hits are
 	// answered when their entry is ready (an in-flight entry behaves as a
@@ -288,7 +395,7 @@ func (s *server) dispatch(batch []Request, closeAt float64) error {
 	s.order = s.order[:0]
 	for i, r := range batch {
 		if hit[i] {
-			s.serveReq(r, math.Max(closeAt, ready[i]))
+			s.serveReq(r, math.Max(closeAt, ready[i]), false)
 			continue
 		}
 		if s.vertexGen[r.Vertex] != s.gen {
@@ -297,7 +404,7 @@ func (s *server) dispatch(batch []Request, closeAt float64) error {
 		}
 	}
 
-	kind := hw.CPU // cache-only batches are answered by the host
+	kind := hw.CPU
 	if len(s.order) > 0 {
 		s.routeReq = RouteRequest{
 			Computed: len(s.order),
@@ -334,7 +441,7 @@ func (s *server) dispatch(batch []Request, closeAt float64) error {
 			if hit[i] {
 				continue
 			}
-			s.serveReq(r, done)
+			s.serveReq(r, done, true)
 			s.stats.Computed++
 			served++
 		}
@@ -348,13 +455,23 @@ func (s *server) dispatch(batch []Request, closeAt float64) error {
 		s.stats.Routes = append(s.stats.Routes, wi)
 		s.policy.Observe(wi, s.order)
 	}
-	s.admission.DispatchedKind(kind, s.completions)
+	// Cache hits are answered by the host: only the computed requests'
+	// completions occupy the routed kind's in-flight share. (The old code
+	// pushed every completion — hits included — onto the computed batch's
+	// kind heap, so a hit-heavy batch routed to an FPGA counted requests
+	// the cache had already answered against the FPGA's SetKindCap share.)
+	s.admission.DispatchedKind(hw.CPU, s.hitDone)
+	s.admission.DispatchedKind(kind, s.compDone)
 	return nil
 }
 
 // offer feeds one arrival through deadline-expiry, admission, and batching —
 // the event loop's body, exposed for the zero-alloc gate and benchmarks.
 func (s *server) offer(r Request) error {
+	s.stats.Offered++
+	if r.Class < NumClasses {
+		s.stats.PerClass[r.Class].Offered++
+	}
 	for {
 		batch, closeAt := s.batcher.CloseExpired(r.Arrival)
 		if batch == nil {
@@ -364,8 +481,11 @@ func (s *server) offer(r Request) error {
 			return err
 		}
 	}
-	if !s.admission.Admit(r.Arrival) {
+	if !s.admission.AdmitClass(r.Arrival, r.Class) {
 		s.stats.Rejected++
+		if r.Class < NumClasses {
+			s.stats.PerClass[r.Class].Rejected++
+		}
 		return nil
 	}
 	if batch, closeAt := s.batcher.Add(r); batch != nil {
@@ -386,6 +506,7 @@ func (s *server) finish() (*Stats, error) {
 	stats := s.stats
 	stats.Served = len(s.latencies)
 	stats.summarizeLatencies(s.latencies)
+	stats.summarizePerClass(s.latencies, s.latClasses)
 	hits, _, evictions := s.cache.Stats()
 	stats.CacheHits = hits
 	stats.Evictions = evictions
@@ -423,7 +544,11 @@ func Run(cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.NumRequests; i++ {
-		if err := s.offer(s.stream.Next()); err != nil {
+		r, ok := s.stream.Next()
+		if !ok { // bounded source (trace replay) exhausted
+			break
+		}
+		if err := s.offer(r); err != nil {
 			return nil, err
 		}
 	}

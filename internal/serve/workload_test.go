@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// scriptedUniform scripts the uniform draws the arrival samplers see — the
+// only way to exercise the u == 0 draw a SplitMix64 stream essentially never
+// produces.
+type scriptedUniform struct {
+	draws []float64
+	i     int
+}
+
+func (s *scriptedUniform) Float64() float64 {
+	if s.i >= len(s.draws) {
+		return 0.5
+	}
+	v := s.draws[s.i]
+	s.i++
+	return v
+}
+
+// Regression for the dead degenerate-draw guard: Float64 spans [0, 1), so
+// the draw to guard is u == 0 — which the old code passed straight through
+// (-log(1-0) = 0, a zero gap that stalls the virtual clock) while guarding
+// the unreachable u ≥ 1 end. The stream must redraw until the gap is
+// positive.
+func TestRequestStreamRedrawsZeroUniform(t *testing.T) {
+	const rate = 1000.0
+	s, err := NewRequestStream(10, rate, 0, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two u == 0 draws, then 0.5 for the gap; 0.3 picks the vertex.
+	s.rng = &scriptedUniform{draws: []float64{0, 0, 0.5, 0.3}}
+	r := s.Next()
+	if r.Arrival <= 0 {
+		t.Fatalf("first arrival %v not strictly positive: the u == 0 draw was not redrawn", r.Arrival)
+	}
+	if want := -math.Log(0.5) / rate; r.Arrival != want {
+		t.Fatalf("arrival = %v, want the gap from the first positive draw %v", r.Arrival, want)
+	}
+	if r.Class != ClassStandard {
+		t.Fatalf("legacy stream class = %v, want standard", r.Class)
+	}
+	prev := r.Arrival
+	for i := 0; i < 100; i++ {
+		r = s.Next()
+		if r.Arrival <= prev {
+			t.Fatalf("arrivals not strictly increasing: %v after %v", r.Arrival, prev)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestParseWorkloadSpec(t *testing.T) {
+	spec, err := ParseWorkloadSpec(
+		"web,rate=4000,class=interactive,zipf=1.1,phases=0.3s@2x+0.3s@0.5x; " +
+			"etl,rate=1500,dist=weibull,shape=0.7,class=bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Cohorts) != 2 {
+		t.Fatalf("parsed %d cohorts, want 2", len(spec.Cohorts))
+	}
+	web := spec.Cohorts[0]
+	if web.Name != "web" || web.Class != ClassInteractive || web.Dist != DistPoisson ||
+		web.RatePerSec != 4000 || web.Zipf != 1.1 {
+		t.Fatalf("web cohort parsed wrong: %+v", web)
+	}
+	wantPhases := []RatePhase{{0.3, 2}, {0.3, 0.5}}
+	if !reflect.DeepEqual(web.Phases, wantPhases) {
+		t.Fatalf("web phases = %v, want %v", web.Phases, wantPhases)
+	}
+	etl := spec.Cohorts[1]
+	if etl.Name != "etl" || etl.Class != ClassBulk || etl.Dist != DistWeibull || etl.Shape != 0.7 {
+		t.Fatalf("etl cohort parsed wrong: %+v", etl)
+	}
+	for _, bad := range []string{
+		"",                          // no cohorts
+		"web",                       // missing rate
+		"rate=100",                  // first field must be the name
+		"web,rate=100,turbo=1",      // unknown key
+		"web,rate=100,class=vip",    // unknown class
+		"web,rate=100,phases=0.3s",  // phase without @mult
+		"a,rate=100;a,rate=200",     // duplicate name
+		"web,rate=100,shape=-1",     // negative shape
+		"web,rate=100;etl,rate=-5",  // non-positive rate
+		"web,rate=100,phases=1s@0x", // non-positive multiplier
+	} {
+		if _, err := ParseWorkloadSpec(bad); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}
+
+// The merged stream is a pure function of (spec, numVertices, seed): two
+// streams replay identically, the merge is globally non-decreasing, each
+// cohort's own arrivals strictly increase, and every request carries its
+// cohort's class and tag.
+func TestWorkloadStreamDeterministicAndOrdered(t *testing.T) {
+	spec, err := ParseWorkloadSpec(
+		"web,rate=3000,class=interactive,zipf=1.1,phases=0.02s@2x+0.02s@0.5x;" +
+			"api,rate=2000,dist=gamma,shape=0.5;" +
+			"etl,rate=1000,dist=weibull,shape=0.7,class=bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewWorkloadStream(spec, 500, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkloadStream(spec, 500, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	cohortPrev := make([]float64, len(spec.Cohorts))
+	for i := 0; i < 3000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("request %d diverged across same-seed streams: %+v vs %+v", i, ra, rb)
+		}
+		if ra.ID != i {
+			t.Fatalf("request %d has ID %d", i, ra.ID)
+		}
+		if ra.Arrival < prev {
+			t.Fatalf("merged arrivals decreased: %v after %v", ra.Arrival, prev)
+		}
+		prev = ra.Arrival
+		c := int(ra.Cohort)
+		if c >= len(spec.Cohorts) {
+			t.Fatalf("request %d: cohort tag %d out of range", i, c)
+		}
+		if ra.Class != spec.Cohorts[c].Class {
+			t.Fatalf("request %d: class %v does not match cohort %q's %v",
+				i, ra.Class, spec.Cohorts[c].Name, spec.Cohorts[c].Class)
+		}
+		if ra.Arrival <= cohortPrev[c] {
+			t.Fatalf("cohort %d arrivals not strictly increasing: %v after %v", c, ra.Arrival, cohortPrev[c])
+		}
+		cohortPrev[c] = ra.Arrival
+		if ra.Vertex < 0 || ra.Vertex >= 500 {
+			t.Fatalf("request %d: vertex %d out of range", i, ra.Vertex)
+		}
+	}
+}
+
+// All three inter-arrival distributions are normalized to the same mean gap
+// 1/rate, so the distribution knob changes burstiness, not offered load.
+func TestArrivalGapMeans(t *testing.T) {
+	const rate, n = 100.0, 20000
+	cases := []struct {
+		name string
+		gap  func(rng *tensor.RNG) float64
+	}{
+		{"poisson", func(rng *tensor.RNG) float64 { return expGap(rng, rate) }},
+		{"gamma-0.5", func(rng *tensor.RNG) float64 { return gammaGap(rng, 0.5, rate) }},
+		{"gamma-2", func(rng *tensor.RNG) float64 { return gammaGap(rng, 2, rate) }},
+		{"weibull-0.7", func(rng *tensor.RNG) float64 { return weibullGap(rng, 0.7, rate) }},
+		{"weibull-1.5", func(rng *tensor.RNG) float64 { return weibullGap(rng, 1.5, rate) }},
+	}
+	for _, c := range cases {
+		rng := tensor.NewRNG(123)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			g := c.gap(rng)
+			if g <= 0 {
+				t.Fatalf("%s: non-positive gap %v", c.name, g)
+			}
+			sum += g
+		}
+		mean := sum / n
+		if want := 1 / rate; math.Abs(mean-want) > 0.05*want {
+			t.Errorf("%s: mean gap %v, want %v ± 5%%", c.name, mean, want)
+		}
+	}
+}
+
+// The phase envelope modulates the arrival density: a cohort spending half
+// its period at 4× the base rate and half at 0.2× must land far more
+// arrivals in the hot half.
+func TestDiurnalPhaseEnvelope(t *testing.T) {
+	spec := &WorkloadSpec{Cohorts: []Cohort{{
+		Name: "diurnal", RatePerSec: 2000, Shape: 1,
+		Phases: []RatePhase{{0.5, 4}, {0.5, 0.2}},
+	}}}
+	w, err := NewWorkloadStream(spec, 100, tensor.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := 0, 0
+	for i := 0; i < 6000; i++ {
+		r, _ := w.Next()
+		if math.Mod(r.Arrival, 1.0) < 0.5 {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	if hot < 3*cold {
+		t.Fatalf("phase envelope not applied: %d arrivals in the 4x half vs %d in the 0.2x half", hot, cold)
+	}
+}
+
+func workloadConfig(t *testing.T) Config {
+	t.Helper()
+	ds, m := testSetup(t)
+	cfg := baseConfig(ds, m)
+	spec, err := ParseWorkloadSpec(
+		"web,rate=1200,class=interactive,zipf=1.1,phases=0.05s@2x+0.05s@0.5x;" +
+			"api,rate=1200,dist=gamma,shape=0.5;" +
+			"etl,rate=1200,dist=weibull,shape=0.7,class=bulk,zipf=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = spec
+	cfg.CacheSize = 256
+	return cfg
+}
+
+// The serialized trace round-trips exactly: parse(serialize(t)) == t, and
+// the encoding is deterministic byte for byte.
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := workloadConfig(t)
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != cfg.NumRequests {
+		t.Fatalf("trace has %d requests, want %d", len(tr.Requests), cfg.NumRequests)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("trace did not round-trip through serialization")
+	}
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized trace differs byte for byte")
+	}
+	for _, bad := range []string{
+		"not a trace\n",
+		traceHeader + " n=2\n0 1 0x1p-10 0 0\n",                 // count mismatch
+		traceHeader + " n=2\n0 1 0x1p-8 0 0\n1 1 0x1p-10 0 0\n", // out of order
+		traceHeader + " n=1\n0 1 0x1p-10 7 0\n",                 // class out of range
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("trace %q accepted, want error", bad)
+		}
+	}
+}
+
+// Replaying a recorded trace pins the arrival process completely: the
+// workload run, a replay of its generated trace, and a second replay all
+// produce byte-identical Stats.
+func TestTraceReplayByteIdentical(t *testing.T) {
+	cfg := workloadConfig(t)
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCfg := cfg
+	replayCfg.Workload = nil
+	replayCfg.Replay = tr
+	replay1, err := Run(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay2, err := Run(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replay1, replay2) {
+		t.Fatal("two replays of the same trace diverged")
+	}
+	if !reflect.DeepEqual(direct, replay1) {
+		t.Fatal("replaying the generated trace diverged from the direct workload run")
+	}
+}
+
+// End-to-end over three cohorts: the per-class ledger balances, all three
+// classes are active, and the fairness index is well-formed and printed.
+func TestWorkloadEndToEnd(t *testing.T) {
+	cfg := workloadConfig(t)
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumOffered := 0
+	for c := range stats.PerClass {
+		cs := stats.PerClass[c]
+		sumOffered += cs.Offered
+		if cs.Served+cs.Rejected != cs.Offered {
+			t.Errorf("class %v ledger: served %d + rejected %d != offered %d",
+				SLOClass(c), cs.Served, cs.Rejected, cs.Offered)
+		}
+		if cs.Served > 0 && (cs.P50Sec <= 0 || cs.P99Sec < cs.P50Sec || cs.MaxSec < cs.P99Sec) {
+			t.Errorf("class %v quantiles inconsistent: p50 %v p99 %v max %v",
+				SLOClass(c), cs.P50Sec, cs.P99Sec, cs.MaxSec)
+		}
+	}
+	if sumOffered != stats.Offered {
+		t.Errorf("per-class offered sums to %d, global offered %d", sumOffered, stats.Offered)
+	}
+	if stats.ActiveClasses != 3 {
+		t.Errorf("active classes = %d, want 3", stats.ActiveClasses)
+	}
+	if stats.JainFairness <= 0 || stats.JainFairness > 1 {
+		t.Errorf("Jain fairness %v outside (0, 1]", stats.JainFairness)
+	}
+	out := stats.String()
+	if !strings.Contains(out, "interactive") || !strings.Contains(out, "fairness") {
+		t.Errorf("Stats.String missing the per-class report:\n%s", out)
+	}
+}
+
+// Per-class token buckets meter admission without consuming queue capacity
+// on rejection or tokens on a global reject.
+func TestClassTokenBucket(t *testing.T) {
+	a, err := NewAdmissionController(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetClassRate(ClassBulk, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.SetClassRate(ClassBulk, -1, 1) == nil || a.SetClassRate(NumClasses, 10, 1) == nil {
+		t.Fatal("invalid class rate accepted")
+	}
+	// Burst 2: two immediate admits, then the bucket is dry.
+	if !a.AdmitClass(0, ClassBulk) || !a.AdmitClass(0, ClassBulk) {
+		t.Fatal("burst tokens not granted")
+	}
+	if a.AdmitClass(0, ClassBulk) {
+		t.Fatal("dry bucket admitted")
+	}
+	if a.Outstanding() != 2 {
+		t.Fatalf("bucket rejection consumed queue capacity: outstanding %d, want 2", a.Outstanding())
+	}
+	// Rate 10/s: 0.1s refills one token.
+	if !a.AdmitClass(0.1, ClassBulk) {
+		t.Fatal("refilled bucket rejected")
+	}
+	// Unmetered classes pass straight to the global bound.
+	if !a.AdmitClass(0.1, ClassInteractive) {
+		t.Fatal("unmetered class rejected")
+	}
+
+	// A global reject must not burn a token: with capacity 1 and a
+	// near-zero refill rate, the token survives the global reject and is
+	// still there once capacity frees up.
+	b, err := NewAdmissionController(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetClassRate(ClassBulk, 1e-9, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !b.AdmitClass(0, ClassBulk) {
+		t.Fatal("first admit rejected")
+	}
+	if b.AdmitClass(0, ClassBulk) {
+		t.Fatal("admitted past global capacity")
+	}
+	b.Dispatched([]float64{0.1}) // completes at t=0.1, freeing capacity
+	if !b.AdmitClass(0.2, ClassBulk) {
+		t.Fatal("token was consumed by the global reject")
+	}
+}
+
+// Class rates end to end: metering the bulk cohort sheds bulk traffic at a
+// far higher rate than the unmetered interactive cohort.
+func TestClassRatesEndToEnd(t *testing.T) {
+	cfg := workloadConfig(t)
+	cfg.ClassRates = []ClassRateLimit{{Class: ClassBulk, RatePerSec: 200, Burst: 4}}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk := stats.PerClass[ClassBulk]
+	inter := stats.PerClass[ClassInteractive]
+	if bulk.Rejected == 0 {
+		t.Fatal("metered bulk class was never rejected")
+	}
+	rejRate := func(cs ClassStats) float64 { return float64(cs.Rejected) / float64(cs.Offered) }
+	if rejRate(bulk) <= rejRate(inter) {
+		t.Fatalf("bulk rejection rate %.3f not above interactive's %.3f", rejRate(bulk), rejRate(inter))
+	}
+}
