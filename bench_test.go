@@ -151,6 +151,25 @@ func BenchmarkExtServeSLO(b *testing.B) {
 	b.ReportMetric(report.Jain["priority"], "jain-priority")
 }
 
+// BenchmarkExtServeFault replays one recorded trace fault-free and with a
+// scripted mid-run worker fail-stop, reporting what the self-healing runtime
+// shed and retried, the fault-window tail, and the recovery time.
+func BenchmarkExtServeFault(b *testing.B) {
+	b.ReportAllocs()
+	var report *bench.ServeFaultReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		report, err = bench.ServeFault(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(report.Faulted.Shed), "faulted-shed")
+	b.ReportMetric(float64(report.Faulted.Retries), "faulted-retries")
+	b.ReportMetric(report.Faulted.FaultWindowP99Ms, "fault-window-p99-ms")
+	b.ReportMetric(report.Faulted.RecoveryMs, "recovery-ms")
+}
+
 // --- Kernel-level benchmarks ------------------------------------------------
 
 func benchDataset(b *testing.B) *datagen.Dataset {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fault"
 	"repro/internal/gnn"
 	"repro/internal/hw"
 	"repro/internal/serve"
@@ -36,6 +37,13 @@ type options struct {
 	pipeline  string
 	nodes     int
 	trace     string
+	// faults is the -faults deterministic fault schedule (see fault.Parse);
+	// empty runs fault-free (byte-identical to a build without the fault
+	// plane).
+	faults string
+	// retryBudget is -retry-budget: serving re-dispatch attempts per batch
+	// after a worker failure (0 = runtime default, negative = no retries).
+	retryBudget int
 
 	serveMode     bool
 	serveRate     float64
@@ -61,6 +69,10 @@ type options struct {
 	// run's arrival stream to PATH and replays it in-run; "replay=PATH"
 	// serves a previously recorded trace.
 	serveTrace string
+	// serveSLO is the -serve-slo per-class latency target spec in
+	// milliseconds (see serve.ParseSLOTargets); empty disables deadline-miss
+	// accounting.
+	serveSLO string
 }
 
 // runSpec is a fully validated run: the scaled dataset spec, resolved model
@@ -86,7 +98,11 @@ type runSpec struct {
 	// ("record" or "replay"; empty = no trace).
 	TraceMode string
 	TracePath string
-	opts      options
+	// Faults is the parsed -faults schedule (nil = fault-free).
+	Faults *fault.Schedule
+	// SLOTargets is the parsed -serve-slo per-class deadline spec.
+	SLOTargets []serve.ClassSLO
+	opts       options
 }
 
 // buildConfig resolves and validates every flag. Bad values return errors
@@ -159,6 +175,19 @@ func buildConfig(o options) (*runSpec, error) {
 	if !o.serveMode && o.epochs < 1 {
 		return nil, fmt.Errorf("-epochs %d: training needs at least 1", o.epochs)
 	}
+	if o.faults != "" {
+		sched, err := fault.Parse(o.faults)
+		if err != nil {
+			return nil, fmt.Errorf("-faults: %w", err)
+		}
+		if sched.HasServing() && !o.serveMode {
+			return nil, fmt.Errorf("-faults %q: worker fault events need -serve", o.faults)
+		}
+		if sched.HasCluster() && o.nodes <= 1 {
+			return nil, fmt.Errorf("-faults %q: node/link fault events need -nodes > 1", o.faults)
+		}
+		r.Faults = sched
+	}
 	if o.serveMode {
 		if o.nodes > 1 {
 			return nil, fmt.Errorf("-serve with -nodes %d: serving a partitioned fleet is not supported", o.nodes)
@@ -210,6 +239,13 @@ func buildConfig(o options) (*runSpec, error) {
 				return nil, fmt.Errorf("-serve-workload: %w", err)
 			}
 			r.Workload = spec
+		}
+		if o.serveSLO != "" {
+			targets, err := serve.ParseSLOTargets(o.serveSLO)
+			if err != nil {
+				return nil, fmt.Errorf("-serve-slo: %w", err)
+			}
+			r.SLOTargets = targets
 		}
 		if o.serveTrace != "" {
 			mode, path, ok := strings.Cut(o.serveTrace, "=")
@@ -306,5 +342,8 @@ func (r *runSpec) serveConfig(ds *datagen.Dataset, model *gnn.Model) serve.Confi
 		RouteTrace:       r.opts.routeTrace,
 		QuantizeTransfer: r.opts.quantize,
 		Seed:             r.opts.seed,
+		Faults:           r.Faults,
+		RetryBudget:      r.opts.retryBudget,
+		SLOTargets:       r.SLOTargets,
 	}
 }

@@ -331,3 +331,55 @@ func TestBuildConfigServeWorkloadFlags(t *testing.T) {
 		}
 	}
 }
+
+// -faults, -retry-budget and -serve-slo parse, reach the runtime configs,
+// and are rejected when the schedule's plane does not match the run mode.
+func TestBuildConfigFaultFlags(t *testing.T) {
+	o := validOptions()
+	o.serveMode = true
+	o.faults = "fail,worker=1,at=0.05;slow,worker=0,from=0.02,to=0.04,factor=3"
+	o.retryBudget = 3
+	o.serveSLO = "interactive=2,standard=10,bulk=50"
+	r, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == nil || len(r.Faults.Events) != 2 {
+		t.Fatalf("fault schedule not parsed: %+v", r.Faults)
+	}
+	if len(r.SLOTargets) != 3 {
+		t.Fatalf("SLO targets not parsed: %+v", r.SLOTargets)
+	}
+	cfg := r.serveConfig(nil, nil)
+	if cfg.Faults != r.Faults || cfg.RetryBudget != 3 || len(cfg.SLOTargets) != 3 {
+		t.Fatalf("serveConfig did not wire the fault plane: %+v", cfg)
+	}
+
+	// Cluster events route to multi-node runs and are accepted there.
+	o = validOptions()
+	o.nodes = 4
+	o.faults = "fail,node=2,at=iter:5;degrade,link,from=iter:2,to=iter:6,factor=4"
+	if r, err = buildConfig(o); err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == nil || !r.Faults.HasCluster() {
+		t.Fatalf("cluster fault schedule not parsed: %+v", r.Faults)
+	}
+
+	bad := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"garbage spec", func(o *options) { o.serveMode = true; o.faults = "melt,worker=1" }},
+		{"worker events without -serve", func(o *options) { o.faults = "fail,worker=1,at=0.05" }},
+		{"node events without -nodes", func(o *options) { o.faults = "fail,node=2,at=iter:5" }},
+		{"bad slo spec", func(o *options) { o.serveMode = true; o.serveSLO = "interactive=fast" }},
+	}
+	for _, tc := range bad {
+		b := validOptions()
+		tc.mutate(&b)
+		if _, err := buildConfig(b); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

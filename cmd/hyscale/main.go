@@ -90,6 +90,9 @@ func main() {
 	flag.StringVar(&o.serveWorkload, "serve-workload", "", "serving: multi-cohort workload spec, e.g. 'web,rate=4000,class=interactive,zipf=1.1;etl,rate=1500,dist=weibull,shape=0.7,class=bulk' (replaces -serve-rate/-serve-zipf)")
 	flag.StringVar(&o.serveFormation, "serve-formation", "", "serving: batch-formation policy: fcfs (default) | priority | sjf")
 	flag.StringVar(&o.serveTrace, "serve-trace", "", "serving: record=PATH records the arrival stream to PATH and replays it in-run; replay=PATH serves a recorded trace")
+	flag.StringVar(&o.faults, "faults", "", "deterministic fault schedule: serving events like 'fail,worker=1,at=0.05;slow,worker=0,from=0.02,to=0.04,factor=3' (needs -serve) or cluster events like 'fail,node=2,at=iter:5;degrade,link,from=iter:2,to=iter:6,factor=4' (needs -nodes > 1); empty runs fault-free")
+	flag.IntVar(&o.retryBudget, "retry-budget", 0, "serving: re-dispatch attempts per batch after a worker failure (0 = default of 2, negative = no retries)")
+	flag.StringVar(&o.serveSLO, "serve-slo", "", "serving: per-class latency SLO targets in milliseconds, e.g. 'interactive=2,standard=10,bulk=50' (enables deadline-miss accounting)")
 	flag.Parse()
 	o.hybrid, o.tfp, o.drm = !*noHybrid, !*noTFP, !*noDRM
 
@@ -119,7 +122,7 @@ func run(o options) error {
 	}
 	coreCfg := r.coreConfig(ds)
 	if o.nodes > 1 {
-		return runMultiNode(coreCfg, o.nodes, o.epochs, o.trace)
+		return runMultiNode(coreCfg, r, o.nodes, o.epochs, o.trace)
 	}
 	model, err := runSingleNode(r, coreCfg, o)
 	if err != nil {
@@ -260,7 +263,7 @@ func runServe(r *runSpec, ds *datagen.Dataset, model *gnn.Model) error {
 
 // runMultiNode executes the sharded multi-node protocol and closes with the
 // executed-vs-analytic slowdown comparison.
-func runMultiNode(coreCfg core.Config, nodes, epochs int, traceOut string) error {
+func runMultiNode(coreCfg core.Config, r *runSpec, nodes, epochs int, traceOut string) error {
 	// Single-node baseline (one fill epoch + one steady-state epoch) for the
 	// slowdown comparison.
 	base, err := core.NewEngine(coreCfg)
@@ -278,7 +281,7 @@ func runMultiNode(coreCfg core.Config, nodes, epochs int, traceOut string) error
 
 	net := hw.Ethernet100G()
 	m, err := cluster.NewMultiNode(cluster.MultiNodeConfig{
-		Nodes: nodes, Net: net, Node: coreCfg,
+		Nodes: nodes, Net: net, Node: coreCfg, Faults: r.Faults,
 	})
 	if err != nil {
 		return err
@@ -326,6 +329,10 @@ func runMultiNode(coreCfg core.Config, nodes, epochs int, traceOut string) error
 			i, a.CPUBatch, a.AccelBatch, a.SampThreads, a.LoadThreads, a.TrainThreads)
 	}
 	fmt.Println()
+	if last.FailedNodes > 0 {
+		fmt.Printf("%d node(s) fail-stopped mid-run; the survivors re-ringed, rescaled the gradient mean and continued.\n",
+			last.FailedNodes)
+	}
 	if d := m.ReplicasInSync(); d != 0 {
 		return fmt.Errorf("fleet divergence %g — cross-node synchronous SGD violated", d)
 	}

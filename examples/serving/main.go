@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fault"
 	"repro/internal/gnn"
 	"repro/internal/hw"
 	"repro/internal/serve"
@@ -220,5 +221,46 @@ func main() {
 		etl := st.PerClass[serve.ClassBulk]
 		fmt.Printf("%-9s interactive p99 %7.3fms (served %d)   bulk p99 %7.3fms (served %d)   Jain %.4f\n",
 			formation, 1e3*web.P99Sec, web.Served, 1e3*etl.P99Sec, etl.Served, st.JainFairness)
+	}
+
+	// 9. Failure drill: the same recorded trace replayed healthy and with a
+	//    scripted fault — worker 1 brakes for 10ms, then fail-stops halfway
+	//    through the run. The router stops choosing it, in-flight batches
+	//    whose predicted completion crosses the fail time are re-dispatched
+	//    under the retry budget, and degraded-mode admission sheds bulk
+	//    traffic first (interactive is never shed). The fault schedule is
+	//    deterministic: the same spec replays bit-exactly.
+	fmt.Println("\n--- failure drill: scripted worker loss on the same trace ---")
+	sched, err := fault.Parse("stall,worker=1,from=1.0,to=1.01;fail,worker=1,at=1.01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, err := serve.ParseSLOTargets("interactive=2,bulk=50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, drill := range []struct {
+		name   string
+		faults *fault.Schedule
+	}{
+		{"healthy", nil},
+		{"worker-loss", sched},
+	} {
+		cfg := slo
+		cfg.Workload = nil
+		cfg.Replay = trace
+		cfg.Faults = drill.faults
+		cfg.RetryBudget = 2
+		cfg.SLOTargets = targets
+		st, err := serve.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s served %5d  shed %4d  retries %d  deadline misses %3d  p99 %7.3fms",
+			drill.name, st.Served, st.Shed, st.Retries, st.DeadlineMisses, 1e3*st.P99Sec)
+		if st.FailedWorkers > 0 {
+			fmt.Printf("  (lost %d worker, recovery %.3fms)", st.FailedWorkers, 1e3*st.RecoverySec)
+		}
+		fmt.Println()
 	}
 }

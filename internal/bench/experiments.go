@@ -416,6 +416,8 @@ func ByName(name string, seed uint64) (*Table, error) {
 		return ExtKernels(seed)
 	case "ext-serve-slo":
 		return ExtServeSLO(seed)
+	case "ext-serve-fault":
+		return ExtServeFault(seed)
 	case "ext-serve-throughput":
 		return ExtServeThroughput(seed)
 	case "throughput":
@@ -431,5 +433,5 @@ func Names() []string {
 	return []string{"table2", "table3", "table4", "fig8", "fig9", "fig10",
 		"table6", "table7", "fig11", "throughput", "ext-quant", "ext-cluster",
 		"ext-multinode", "ext-hetero", "ext-serve", "ext-serve-hetero",
-		"ext-serve-slo", "ext-kernels", "ext-serve-throughput"}
+		"ext-serve-slo", "ext-serve-fault", "ext-kernels", "ext-serve-throughput"}
 }

@@ -1,0 +1,174 @@
+// Fault-tolerance serving benchmark: the SLO-class three-cohort trace is
+// recorded once and replayed twice — fault-free, then with a scripted
+// mid-run worker fail-stop — so the self-healing runtime's cost is measured
+// on identical offered load: what was served, shed and retried, how the tail
+// moved inside the fault window, and how long the pool took to re-absorb the
+// re-dispatched work.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// ServeFaultVariant is one replay of the recorded trace.
+type ServeFaultVariant struct {
+	Name           string  `json:"name"`
+	Served         int     `json:"served"`
+	Rejected       int     `json:"rejected"`
+	Shed           int     `json:"shed"`
+	Retries        int     `json:"retries"`
+	Redispatched   int     `json:"redispatched"`
+	FailedWorkers  int     `json:"failed_workers"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	P99Ms          float64 `json:"p99_ms"`
+	// FaultWindow* cover requests completing at or after the first failure
+	// (zero in the fault-free replay).
+	FaultWindowServed int     `json:"fault_window_served"`
+	FaultWindowP99Ms  float64 `json:"fault_window_p99_ms"`
+	RecoveryMs        float64 `json:"recovery_ms"`
+}
+
+// ServeFaultReport is the fault section of BENCH_serve.json.
+type ServeFaultReport struct {
+	CapacityRPS float64 `json:"capacity_rps"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	Requests    int     `json:"requests"`
+	FaultSpec   string  `json:"fault_spec"`
+	FailAtSec   float64 `json:"fail_at_sec"`
+	SLOTargets  string  `json:"slo_targets"`
+
+	Baseline ServeFaultVariant `json:"baseline"`
+	Faulted  ServeFaultVariant `json:"faulted"`
+}
+
+// serveFaultSLO is the per-class deadline spec both replays account against.
+const serveFaultSLO = "interactive=2,standard=10,bulk=50"
+
+// ServeFault replays one recorded trace fault-free and with a mid-run worker
+// loss. The ledger invariant offered = served + rejected + shed is enforced:
+// the fleet may degrade under a fault, but it must not lose requests.
+func ServeFault(seed uint64) (*ServeFaultReport, error) {
+	ds, model, err := serveFixture(seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := serve.Config{
+		Plat: hw.CPUFPGAPlatform(), Data: ds, Model: model,
+		Fanouts: []int{10, 5}, NumRequests: 6000,
+		MaxBatch: 32, WindowSec: 2e-3, Workers: 2,
+		QueueCap: 512, CacheSize: 2048, CacheShards: 4, Seed: seed,
+		Formation: serve.FormationPriority,
+		// Least-loaded routes by pipe availability, not predicted completion,
+		// so it keeps feeding a braking worker — exercising the re-dispatch
+		// path instead of letting the predictive router dodge the fault.
+		Policy: serve.PolicyLeastLoaded,
+	}
+	cfg.SLOTargets, err = serve.ParseSLOTargets(serveFaultSLO)
+	if err != nil {
+		return nil, err
+	}
+	// Same operating point as the SLO benchmark: 0.6× the analytic all-miss
+	// capacity. (The probe rate is a placeholder — CapacityRPS ignores it.)
+	cfg.RatePerSec = 1
+	pred, err := serve.Predict(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	rate := 0.6 * pred.CapacityRPS
+	cfg.RatePerSec = rate
+	cfg.Workload = &serve.WorkloadSpec{Cohorts: []serve.Cohort{
+		{Name: "web", Class: serve.ClassInteractive, Dist: serve.DistPoisson,
+			RatePerSec: 0.25 * rate, Zipf: 1.1},
+		{Name: "api", Class: serve.ClassStandard, Dist: serve.DistGamma, Shape: 0.5,
+			RatePerSec: 0.45 * rate, Zipf: 1.1},
+		{Name: "etl", Class: serve.ClassBulk, Dist: serve.DistWeibull, Shape: 0.7,
+			RatePerSec: 0.30 * rate, Zipf: 0.8},
+	}}
+	trace, err := serve.GenerateTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Kill worker 1 (half the accelerator pool) 40% into the offered load's
+	// nominal makespan — deep enough that the pool is in steady state, early
+	// enough that most of the trace runs degraded. The worker brakes (stalls)
+	// for 10ms before dying, the common fail-stop signature: batches routed
+	// into the stall predict completions past the fail time and are
+	// re-dispatched to the survivor.
+	failAt := 0.4 * float64(cfg.NumRequests) / rate
+	spec := fmt.Sprintf("stall,worker=1,from=%g,to=%g;fail,worker=1,at=%g",
+		math.Max(0, failAt-0.01), failAt, failAt)
+	sched, err := fault.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	report := &ServeFaultReport{
+		CapacityRPS: pred.CapacityRPS, OfferedRPS: rate,
+		Requests: len(trace.Requests), FaultSpec: spec, FailAtSec: failAt,
+		SLOTargets: serveFaultSLO,
+	}
+	run := func(name string, faults *fault.Schedule) (ServeFaultVariant, error) {
+		rcfg := cfg
+		rcfg.Workload = nil
+		rcfg.Replay = trace
+		rcfg.Faults = faults
+		st, err := serve.Run(rcfg)
+		if err != nil {
+			return ServeFaultVariant{}, err
+		}
+		if st.Offered != st.Served+st.Rejected+st.Shed {
+			return ServeFaultVariant{}, fmt.Errorf(
+				"bench: %s replay lost requests: offered %d != served %d + rejected %d + shed %d",
+				name, st.Offered, st.Served, st.Rejected, st.Shed)
+		}
+		return ServeFaultVariant{
+			Name: name, Served: st.Served, Rejected: st.Rejected, Shed: st.Shed,
+			Retries: st.Retries, Redispatched: st.Redispatched,
+			FailedWorkers: st.FailedWorkers, DeadlineMisses: st.DeadlineMisses,
+			P99Ms:             1e3 * st.P99Sec,
+			FaultWindowServed: st.FaultWindowServed,
+			FaultWindowP99Ms:  1e3 * st.FaultWindowP99Sec,
+			RecoveryMs:        1e3 * st.RecoverySec,
+		}, nil
+	}
+	if report.Baseline, err = run("baseline", nil); err != nil {
+		return nil, err
+	}
+	if report.Faulted, err = run("faulted", sched); err != nil {
+		return nil, err
+	}
+	if report.Faulted.FailedWorkers != 1 {
+		return nil, fmt.Errorf("bench: faulted replay lost %d workers, scripted 1",
+			report.Faulted.FailedWorkers)
+	}
+	return report, nil
+}
+
+// ExtServeFault renders the fault-injection comparison as a table.
+func ExtServeFault(seed uint64) (*Table, error) {
+	report, err := ServeFault(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Extension: serving under faults (%s at t=%.1fms on a %.0f req/s trace, "+
+			"%d requests, SLOs %s)",
+			report.FaultSpec, 1e3*report.FailAtSec, report.OfferedRPS,
+			report.Requests, report.SLOTargets),
+		Header: []string{"Variant", "Served", "Rejected", "Shed", "Retries",
+			"Miss", "p99(ms)", "fault-p99(ms)", "recovery(ms)"},
+	}
+	for _, v := range []ServeFaultVariant{report.Baseline, report.Faulted} {
+		t.AddRow(Txt(v.Name),
+			Num(float64(v.Served), "%.0f"), Num(float64(v.Rejected), "%.0f"),
+			Num(float64(v.Shed), "%.0f"), Num(float64(v.Retries), "%.0f"),
+			Num(float64(v.DeadlineMisses), "%.0f"),
+			Num(v.P99Ms, "%.3f"), Num(v.FaultWindowP99Ms, "%.3f"),
+			Num(v.RecoveryMs, "%.3f"))
+	}
+	return t, nil
+}

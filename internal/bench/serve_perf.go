@@ -91,6 +91,11 @@ type ServeReport struct {
 	// SLO is the per-class workload comparison: one recorded trace replayed
 	// under every batch-formation policy (see ServeSLO).
 	SLO *ServeSLOReport `json:"slo"`
+
+	// Fault is the fault-injection comparison: the same style of recorded
+	// trace replayed fault-free and with a mid-run worker loss (see
+	// ServeFault).
+	Fault *ServeFaultReport `json:"fault"`
 }
 
 // cacheWorkload runs G goroutines of opsPerG mixed single-key operations
@@ -428,6 +433,12 @@ func ServeThroughput(seed uint64) (*ServeReport, error) {
 
 	// --- Per-class SLO comparison: one trace, every formation policy.
 	report.SLO, err = ServeSLO(seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Fault injection: one trace replayed healthy and with a worker loss.
+	report.Fault, err = ServeFault(seed)
 	if err != nil {
 		return nil, err
 	}

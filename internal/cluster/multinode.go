@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fault"
+	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
@@ -27,9 +29,13 @@ type MultiNode struct {
 	part       *graph.Partition
 	cut        float64
 	engines    []*core.Engine
+	syncs      []*nodeSync
 	ring       *ring
 	shardTrain int // training vertices per node after drop-last equalisation
 	epoch      int
+	// dead marks nodes that fail-stopped (scripted): they are skipped in
+	// later epochs and contribute nothing to aggregated stats.
+	dead []bool
 }
 
 // MultiNodeConfig describes an executed multi-node run.
@@ -49,6 +55,14 @@ type MultiNodeConfig struct {
 	// (platforms change only the virtual clock), so mixed fleets stay in
 	// lock-step.
 	Plats []hw.Platform
+	// Faults scripts deterministic node failures and link degradation on the
+	// training plane, keyed by cumulative ring round (see fault.Parse):
+	// "fail,node=R,at=iter:K" leaves the ring gracefully before round K and
+	// the survivors re-ring and continue; "crash,node=R,at=iter:K" aborts
+	// the whole fleet (the legacy abort path); "degrade,link,..." scales the
+	// inter-node link over a round window. Nil or a schedule with no cluster
+	// events leaves every code path byte-identical to a fault-free build.
+	Faults *fault.Schedule
 }
 
 // Validate checks the configuration.
@@ -64,6 +78,14 @@ func (c MultiNodeConfig) Validate() error {
 	}
 	if c.Node.Sync != nil || c.Node.Locator != nil {
 		return fmt.Errorf("cluster: Node.Sync/Locator are owned by the coordinator")
+	}
+	if c.Faults.HasCluster() {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if mx := c.Faults.MaxNode(); mx >= c.Nodes {
+			return fmt.Errorf("cluster: fault schedule targets node %d, fleet has %d nodes", mx, c.Nodes)
+		}
 	}
 	if len(c.Plats) != 0 {
 		if len(c.Plats) != c.Nodes {
@@ -140,7 +162,12 @@ func NewMultiNode(cfg MultiNodeConfig) (*MultiNode, error) {
 	}
 
 	rg := newRing(cfg.Nodes, cfg.Net)
+	faulted := cfg.Faults.HasCluster()
+	if faulted {
+		rg.enableMembership(cfg.Faults.LinkFactor)
+	}
 	engines := make([]*core.Engine, cfg.Nodes)
+	syncs := make([]*nodeSync, cfg.Nodes)
 	for i := range engines {
 		nodeCfg := cfg.Node
 		if len(cfg.Plats) > 0 {
@@ -151,7 +178,14 @@ func NewMultiNode(cfg MultiNodeConfig) (*MultiNode, error) {
 			Features: data.Features, Labels: data.Labels,
 			TrainIdx: shards[i][:minSize],
 		}
-		nodeCfg.Sync = &nodeSync{rank: i, ring: rg}
+		sync := &nodeSync{rank: i, ring: rg, failIter: -1, crashIter: -1}
+		if faulted {
+			sync.dynamic = true
+			sync.failIter = cfg.Faults.NodeFailIter(i)
+			sync.crashIter = cfg.Faults.NodeCrashIter(i)
+		}
+		syncs[i] = sync
+		nodeCfg.Sync = sync
 		featByte := 4.0
 		if cfg.Node.QuantizeTransfer {
 			featByte = 1
@@ -167,7 +201,8 @@ func NewMultiNode(cfg MultiNodeConfig) (*MultiNode, error) {
 		engines[i] = eng
 	}
 	return &MultiNode{cfg: cfg, part: part, cut: cut, engines: engines,
-		ring: rg, shardTrain: minSize}, nil
+		syncs: syncs, ring: rg, shardTrain: minSize,
+		dead: make([]bool, cfg.Nodes)}, nil
 }
 
 // TrainPerNode returns each shard's training-vertex count (equalised across
@@ -200,12 +235,21 @@ type MultiNodeStats struct {
 	NetSyncSec  float64 // mean per-node all-reduce seconds
 	RemoteRows  int     // total feature rows fetched across the NIC
 
+	// FailedNodes is the cumulative count of nodes that fail-stopped (this
+	// epoch or earlier). PerNode entries of dead nodes are nil — a node that
+	// departs mid-epoch contributes nothing to that epoch's aggregates.
+	FailedNodes int
+
 	PerNode []*core.EpochStats
 }
 
-// RunEpoch trains one epoch on every node concurrently. Nodes proceed in
-// lock-step: the ring all-reduce synchronises them every iteration, exactly
-// as a real cluster's gradient exchange would.
+// RunEpoch trains one epoch on every surviving node concurrently. Nodes
+// proceed in lock-step: the ring all-reduce synchronises them every
+// iteration, exactly as a real cluster's gradient exchange would. A node
+// whose scripted fail-stop fires mid-epoch leaves the ring at a round
+// boundary; the survivors re-ring, rescale the gradient mean to their own
+// count, and finish the epoch — only a crash (or a real error) aborts the
+// run.
 func (m *MultiNode) RunEpoch() (*MultiNodeStats, error) {
 	m.epoch++
 	type result struct {
@@ -214,22 +258,35 @@ func (m *MultiNode) RunEpoch() (*MultiNodeStats, error) {
 		err error
 	}
 	ch := make(chan result, len(m.engines))
+	launched := 0
 	for i, e := range m.engines {
+		if m.dead[i] {
+			continue
+		}
+		launched++
 		go func(i int, e *core.Engine) {
 			st, err := e.RunEpoch()
-			if err != nil {
+			if err != nil && !errors.Is(err, errNodeFailStop) {
 				// Abort the ring so surviving nodes do not wait forever for
-				// this node's next gradient exchange.
+				// this node's next gradient exchange. A scripted fail-stop
+				// already left the membership cleanly — the ring survives.
 				m.ring.fail()
 			}
 			ch <- result{i, st, err}
 		}(i, e)
 	}
+	if launched == 0 {
+		return nil, fmt.Errorf("cluster: no surviving nodes (all %d fail-stopped)", len(m.engines))
+	}
 	perNode := make([]*core.EpochStats, len(m.engines))
 	var firstErr error
-	for range m.engines {
+	for k := 0; k < launched; k++ {
 		r := <-ch
 		if r.err != nil {
+			if errors.Is(r.err, errNodeFailStop) {
+				m.dead[r.i] = true
+				continue
+			}
 			// Prefer the root cause over the aborted-ring errors the
 			// survivors report as collateral.
 			if firstErr == nil || errors.Is(firstErr, errRingAborted) {
@@ -242,10 +299,15 @@ func (m *MultiNode) RunEpoch() (*MultiNodeStats, error) {
 		return nil, firstErr
 	}
 
-	out := &MultiNodeStats{Epoch: m.epoch, PerNode: perNode,
-		Iterations: perNode[0].Iterations}
+	out := &MultiNodeStats{Epoch: m.epoch, PerNode: perNode}
 	var edges float64
+	live := 0
 	for _, st := range perNode {
+		if st == nil {
+			continue
+		}
+		live++
+		out.Iterations = st.Iterations
 		out.Loss += st.Loss
 		out.Accuracy += st.Accuracy
 		out.NetFetchSec += st.NetFetchSec
@@ -254,7 +316,15 @@ func (m *MultiNode) RunEpoch() (*MultiNodeStats, error) {
 		edges += st.MTEPS * st.VirtualSec * 1e6
 		out.VirtualSec = math.Max(out.VirtualSec, st.VirtualSec)
 	}
-	n := float64(len(perNode))
+	if live == 0 {
+		return nil, fmt.Errorf("cluster: epoch %d finished with no surviving nodes", m.epoch)
+	}
+	for _, d := range m.dead {
+		if d {
+			out.FailedNodes++
+		}
+	}
+	n := float64(live)
 	out.Loss /= n
 	out.Accuracy /= n
 	out.NetFetchSec /= n
@@ -265,18 +335,29 @@ func (m *MultiNode) RunEpoch() (*MultiNodeStats, error) {
 	return out, nil
 }
 
+// DeadNodes reports which ranks have fail-stopped so far.
+func (m *MultiNode) DeadNodes() []bool { return m.dead }
+
 // ReplicasInSync reports the worst parameter divergence anywhere in the
-// fleet: within each node's replica set and across nodes. Zero means the
-// two-level synchronous-SGD protocol (local DONE/ACK + cross-node ring) is
-// working.
+// surviving fleet: within each node's replica set and across nodes. Zero
+// means the two-level synchronous-SGD protocol (local DONE/ACK + cross-node
+// ring) is working. Fail-stopped nodes are excluded — their parameters froze
+// at the round they departed and no longer participate in the protocol.
 func (m *MultiNode) ReplicasInSync() float64 {
 	var worst float64
-	ref := m.engines[0].Params()
-	for _, e := range m.engines {
+	var ref *gnn.Parameters
+	for i, e := range m.engines {
+		if m.dead[i] {
+			continue
+		}
 		if d := e.ReplicasInSync(); d > worst {
 			worst = d
 		}
 		p := e.Params()
+		if ref == nil {
+			ref = p
+			continue
+		}
 		for l := range ref.Weights {
 			if d := ref.Weights[l].MaxAbsDiff(p.Weights[l]); d > worst {
 				worst = d

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/gnn"
@@ -23,6 +24,27 @@ type ring struct {
 	// that never comes. A failed ring stays failed — the fleet is done.
 	abort     chan struct{}
 	abortOnce sync.Once
+
+	// Dynamic membership (survivor re-ring), installed by enableMembership
+	// only when a fault schedule scripts cluster events; without it the ring
+	// runs the legacy fixed-membership allReduce verbatim. Ranks synchronise
+	// on a round barrier: a rank that fail-stops leaves at a round boundary,
+	// the survivors rebuild the ring over the live ranks and continue. The
+	// barrier is exact — a round advances iff every live rank has entered it
+	// — so a departure can never strand a message in an inbox: every message
+	// sent in round k is consumed in round k.
+	dynamic bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	alive   []bool
+	liveN   int
+	entered int
+	round   int
+	view    []int // live ranks, ascending — the round's ring order
+	aborted bool
+	// degrade maps a ring round to the link-degradation factor scripted for
+	// it (1 = healthy); nil means never degraded.
+	degrade func(iter int) float64
 }
 
 // errRingAborted surfaces on the surviving ranks after fail().
@@ -37,8 +59,95 @@ func newRing(n int, link hw.Link) *ring {
 	return r
 }
 
-// fail permanently aborts the ring, releasing every blocked rank.
-func (r *ring) fail() { r.abortOnce.Do(func() { close(r.abort) }) }
+// fail permanently aborts the ring, releasing every blocked rank — including
+// ranks waiting on the membership barrier.
+func (r *ring) fail() {
+	r.abortOnce.Do(func() {
+		close(r.abort)
+		if r.dynamic {
+			r.mu.Lock()
+			r.aborted = true
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		}
+	})
+}
+
+// enableMembership arms the survivor re-ring before any goroutine runs.
+func (r *ring) enableMembership(degrade func(iter int) float64) {
+	r.dynamic = true
+	r.cond = sync.NewCond(&r.mu)
+	r.alive = make([]bool, r.n)
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	r.liveN = r.n
+	r.view = make([]int, 0, r.n)
+	r.rebuildView()
+	r.degrade = degrade
+}
+
+// rebuildView recomputes the live-rank ring order (callers hold mu).
+func (r *ring) rebuildView() {
+	r.view = r.view[:0]
+	for i, a := range r.alive {
+		if a {
+			r.view = append(r.view, i)
+		}
+	}
+}
+
+// advanceLocked starts the next round: resets the barrier, rebuilds the live
+// view, and wakes every waiter (callers hold mu).
+func (r *ring) advanceLocked() {
+	r.entered = 0
+	r.round++
+	r.rebuildView()
+	r.cond.Broadcast()
+}
+
+// enter blocks until every live rank has entered the current round, then
+// returns the round's membership view. The returned slice is shared, not
+// copied — safe because the next round cannot advance (and so the view
+// cannot be rebuilt) until every rank that read it has re-entered the
+// barrier, which happens only after it finished using the view.
+func (r *ring) enter() ([]int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aborted {
+		return nil, errRingAborted
+	}
+	myRound := r.round
+	r.entered++
+	if r.entered == r.liveN {
+		r.advanceLocked()
+	} else {
+		for r.round == myRound && !r.aborted {
+			r.cond.Wait()
+		}
+		if r.aborted {
+			return nil, errRingAborted
+		}
+	}
+	return r.view, nil
+}
+
+// leave removes a rank from the membership at a round boundary (the rank
+// must not have entered the round it is skipping). If every other live rank
+// is already waiting on the barrier, the departure is what completes it —
+// advance on the leaver's behalf so the survivors are not stranded.
+func (r *ring) leave(rank int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.alive[rank] {
+		return
+	}
+	r.alive[rank] = false
+	r.liveN--
+	if r.liveN > 0 && r.entered == r.liveN {
+		r.advanceLocked()
+	}
+}
 
 // chunkBounds returns the [lo, hi) range of chunk c when a vector of length
 // m is split into n contiguous chunks.
@@ -114,6 +223,87 @@ func (r *ring) allReduce(rank int, vec []float32) (float64, error) {
 	return sec, nil
 }
 
+// allReduceDyn is allReduce over the current membership view: the same
+// chunked scatter-reduce + all-gather, but with m = live ranks, chunk
+// geometry over positions in the view instead of raw ranks, and the final
+// scale 1/m — which is exactly the survivor rescale: after a fail-stop the
+// mean is taken over the m nodes that actually contributed gradients. With
+// the full fleet alive the view is [0..n), positions equal ranks, and the
+// arithmetic is allReduce's bit for bit. iter is the global ring round,
+// consulted for scripted link degradation.
+func (r *ring) allReduceDyn(rank, iter int, vec []float32) (float64, error) {
+	view, err := r.enter()
+	if err != nil {
+		return 0, err
+	}
+	m := len(view)
+	if m <= 1 {
+		return 0, nil
+	}
+	pos := 0
+	for i, rk := range view {
+		if rk == rank {
+			pos = i
+			break
+		}
+	}
+	link := r.link
+	if r.degrade != nil {
+		link = link.Degraded(r.degrade(iter))
+	}
+	next := r.inbox[view[mod(pos+1, m)]]
+	self := r.inbox[rank]
+	var sec float64
+	send := func(c int) error {
+		lo, hi := chunkBounds(len(vec), m, c)
+		msg := append([]float32(nil), vec[lo:hi]...)
+		select {
+		case next <- msg:
+		case <-r.abort:
+			return errRingAborted
+		}
+		sec += link.TransferSec(float64(len(msg)) * 4)
+		return nil
+	}
+	recv := func() ([]float32, error) {
+		select {
+		case got := <-self:
+			return got, nil
+		case <-r.abort:
+			return nil, errRingAborted
+		}
+	}
+	for step := 0; step < m-1; step++ { // scatter-reduce
+		if err := send(mod(pos-step, m)); err != nil {
+			return sec, err
+		}
+		got, err := recv()
+		if err != nil {
+			return sec, err
+		}
+		lo, _ := chunkBounds(len(vec), m, mod(pos-step-1, m))
+		for i, v := range got {
+			vec[lo+i] += v
+		}
+	}
+	for step := 0; step < m-1; step++ { // all-gather
+		if err := send(mod(pos-step+1, m)); err != nil {
+			return sec, err
+		}
+		got, err := recv()
+		if err != nil {
+			return sec, err
+		}
+		lo, _ := chunkBounds(len(vec), m, mod(pos-step, m))
+		copy(vec[lo:], got)
+	}
+	inv := 1 / float32(m)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return sec, nil
+}
+
 // flattenGrads copies a gradient set into one contiguous vector (the wire
 // format of the ring).
 func flattenGrads(g *gnn.Gradients) []float32 {
@@ -139,18 +329,61 @@ func unflattenGrads(vec []float32, g *gnn.Gradients) {
 	}
 }
 
+// errNodeFailStop marks a scripted graceful departure: the rank left the
+// ring at a round boundary and the survivors continue without it — unlike a
+// crash, which aborts the whole ring. RunEpoch treats it as a membership
+// change, not a failure of the run.
+var errNodeFailStop = errors.New("cluster: node fail-stop (scripted)")
+
 // nodeSync is the core.GradientSync of one shard: it bridges the node's
-// local gradient average into the cross-node ring.
+// local gradient average into the cross-node ring. With a fault schedule
+// (dynamic set) it counts ring rounds across epochs and executes the rank's
+// scripted fate: a fail-stop leaves the membership before the round, a crash
+// errors outright (aborting the ring), and reductions go through the
+// survivor-aware allReduceDyn. Without a schedule it is the legacy bridge
+// verbatim.
 type nodeSync struct {
 	rank int
 	ring *ring
+
+	dynamic   bool
+	iter      int // cumulative ring rounds across epochs, from 0
+	failIter  int // leave before this round (-1 = never)
+	crashIter int // crash at this round (-1 = never)
+	// tap, when set, observes the flattened gradient vector before and after
+	// each reduce — the oracle tests' window into the wire format.
+	tap func(rank, iter int, vec []float32, post bool)
 }
 
 func (s *nodeSync) Reduce(local *gnn.Gradients) (*gnn.Gradients, float64, error) {
+	if !s.dynamic {
+		vec := flattenGrads(local)
+		sec, err := s.ring.allReduce(s.rank, vec)
+		if err != nil {
+			return nil, sec, err
+		}
+		unflattenGrads(vec, local)
+		return local, sec, nil
+	}
+	iter := s.iter
+	s.iter++
+	if s.crashIter >= 0 && iter == s.crashIter {
+		return nil, 0, fmt.Errorf("rank %d crashed at iteration %d (scripted fault)", s.rank, iter)
+	}
+	if s.failIter >= 0 && iter >= s.failIter {
+		s.ring.leave(s.rank)
+		return nil, 0, fmt.Errorf("rank %d at iteration %d: %w", s.rank, iter, errNodeFailStop)
+	}
 	vec := flattenGrads(local)
-	sec, err := s.ring.allReduce(s.rank, vec)
+	if s.tap != nil {
+		s.tap(s.rank, iter, vec, false)
+	}
+	sec, err := s.ring.allReduceDyn(s.rank, iter, vec)
 	if err != nil {
 		return nil, sec, err
+	}
+	if s.tap != nil {
+		s.tap(s.rank, iter, vec, true)
 	}
 	unflattenGrads(vec, local)
 	return local, sec, nil

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	spec := "fail,worker=1,at=0.05;" +
+		"stall,worker=0,from=0.02,to=0.04;" +
+		"slow,worker=2,from=0,to=0.1,factor=3;" +
+		"fail,node=2,at=iter:5;" +
+		"crash,node=1,at=iter:3;" +
+		"degrade,link,from=iter:2,to=iter:6,factor=4"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: FailStop, Worker: 1, Node: -1, AtSec: 0.05, AtIter: -1, FromIter: -1, ToIter: -1, Factor: 1},
+		{Kind: Stall, Worker: 0, Node: -1, FromSec: 0.02, ToSec: 0.04, AtIter: -1, FromIter: -1, ToIter: -1, Factor: 1},
+		{Kind: Slow, Worker: 2, Node: -1, FromSec: 0, ToSec: 0.1, AtIter: -1, FromIter: -1, ToIter: -1, Factor: 3},
+		{Kind: FailStop, Worker: -1, Node: 2, AtIter: 5, FromIter: -1, ToIter: -1, Factor: 1},
+		{Kind: Crash, Worker: -1, Node: 1, AtIter: 3, FromIter: -1, ToIter: -1, Factor: 1},
+		{Kind: LinkDegrade, Worker: -1, Node: -1, AtIter: -1, FromIter: 2, ToIter: 6, Factor: 4},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("parsed %+v\nwant %+v", s.Events, want)
+	}
+	if s.Empty() {
+		t.Fatal("non-empty schedule reports Empty")
+	}
+	if !s.HasServing() || !s.HasCluster() {
+		t.Fatalf("plane detection: serving=%v cluster=%v", s.HasServing(), s.HasCluster())
+	}
+	if got := s.MaxWorker(); got != 2 {
+		t.Fatalf("MaxWorker %d", got)
+	}
+	if got := s.MaxNode(); got != 2 {
+		t.Fatalf("MaxNode %d", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "fail,worker=1,at=0.05;slow,worker=2,from=0.01,to=0.09,factor=2.5;" +
+		"fail,node=3,at=iter:7;degrade,link,from=iter:1,to=iter:4,factor=8"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Fatalf("round trip drifted:\n %+v\n %+v", s, again)
+	}
+}
+
+func TestParseEmptyAndNil(t *testing.T) {
+	s, err := Parse("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Fatal("blank spec should be empty")
+	}
+	var nilSched *Schedule
+	if !nilSched.Empty() || nilSched.HasServing() || nilSched.HasCluster() {
+		t.Fatal("nil schedule must behave as empty")
+	}
+	if nilSched.NodeFailIter(0) != -1 || nilSched.NodeCrashIter(0) != -1 {
+		t.Fatal("nil schedule must report no node events")
+	}
+	if f := nilSched.LinkFactor(3); f != 1 {
+		t.Fatalf("nil schedule link factor %v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"explode,worker=1", "unknown event kind"},
+		{"fail,worker=1", ""}, // missing at= defaults to 0: legal (fails at t=0)
+		{"fail,at=0.5", "needs worker= or node="},
+		{"fail,worker=1,at=-2", "negative time"},
+		{"fail,node=1,at=0.5", "needs at=iter:K"},
+		{"crash,worker=1,at=iter:2", "targets training nodes"},
+		{"stall,node=1,from=0,to=1", "targets serving workers"},
+		{"stall,worker=0,from=0.4,to=0.2", "from < to"},
+		{"slow,worker=0,from=0,to=1,factor=0.5", "factor 0.5 < 1"},
+		{"degrade,link,from=iter:5,to=iter:2,factor=2", "iterations"},
+		{"degrade,link,from=iter:0,to=iter:2,factor=0.9", "factor 0.9 < 1"},
+		{"fail,worker=1,at=0.1;fail,worker=1,at=0.2", "fail-stops twice"},
+		{"fail,node=1,at=iter:1;crash,node=1,at=iter:2", "dies twice"},
+		{"fail,worker=x,at=0.1", "bad worker"},
+		{"slow,worker=0,from=0,to=1,oops=3", "unknown field"},
+		{"slow,worker=0,from=0,to=1,factor", "not key=value"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if c.wantSub == "" {
+			if err != nil {
+				t.Errorf("Parse(%q) unexpected error %v", c.spec, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %v, want substring %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestLinkFactorWindows(t *testing.T) {
+	s, err := Parse("degrade,link,from=iter:2,to=iter:4,factor=3;degrade,link,from=iter:3,to=iter:5,factor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{0: 1, 1: 1, 2: 3, 3: 6, 4: 2, 5: 1}
+	for it, f := range want {
+		if got := s.LinkFactor(it); got != f {
+			t.Errorf("LinkFactor(%d) = %v, want %v", it, got, f)
+		}
+	}
+}
+
+func TestNodeQueries(t *testing.T) {
+	s, err := Parse("fail,node=2,at=iter:5;crash,node=0,at=iter:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NodeFailIter(2); got != 5 {
+		t.Fatalf("NodeFailIter(2) = %d", got)
+	}
+	if got := s.NodeFailIter(0); got != -1 {
+		t.Fatalf("NodeFailIter(0) = %d", got)
+	}
+	if got := s.NodeCrashIter(0); got != 1 {
+		t.Fatalf("NodeCrashIter(0) = %d", got)
+	}
+	if got := s.NodeCrashIter(2); got != -1 {
+		t.Fatalf("NodeCrashIter(2) = %d", got)
+	}
+}

@@ -132,6 +132,18 @@ func (l Link) TransferSec(bytes float64) float64 {
 	return l.LatencyUs*1e-6 + bytes/(l.EffGBs()*1e9)
 }
 
+// Degraded returns the link with its peak bandwidth divided by factor —
+// scripted congestion or a flapping NIC. Only the bandwidth term degrades;
+// the setup latency is a fixed cost either way. Factor ≤ 1 returns the link
+// unchanged, so factor 1 is exactly the healthy link.
+func (l Link) Degraded(factor float64) Link {
+	if factor <= 1 {
+		return l
+	}
+	l.PeakGBs /= factor
+	return l
+}
+
 // Platform is one compute node: sockets × CPU, plus accelerators behind PCIe.
 // The accelerator fleet may be heterogeneous (GPUs and FPGAs side by side);
 // AccelLinks then carries each device's own host link.

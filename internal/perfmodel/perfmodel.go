@@ -155,6 +155,27 @@ type StageTimes struct {
 	NetSync  float64
 }
 
+// Scaled returns the stage vector with every scalar stage multiplied by
+// factor — the scripted-straggler inflation of the fault subsystem. Factor 1
+// returns the receiver unchanged (bit-exact: no arithmetic runs). PerAccel
+// keeps pointing at the original per-device rows; the aggregate fields are
+// what the serving clock and ServingServiceSec consume.
+func (s StageTimes) Scaled(factor float64) StageTimes {
+	if factor == 1 {
+		return s
+	}
+	s.SampCPU *= factor
+	s.SampAccel *= factor
+	s.Load *= factor
+	s.Trans *= factor
+	s.TrainCPU *= factor
+	s.TrainAcc *= factor
+	s.Sync *= factor
+	s.NetFetch *= factor
+	s.NetSync *= factor
+	return s
+}
+
 // Bottleneck returns the largest pipelined-stage time (Eq. 6), bundling
 // Trans with TrainAcc the way Algorithm 1 line 1 does (T_Accel). Remote
 // feature fetching overlaps the local pipeline (it is one more stage in the

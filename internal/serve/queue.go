@@ -35,6 +35,12 @@ type AdmissionController struct {
 	// buckets meter admission per SLO class (dense array, no map on the
 	// admission hot path); inactive buckets admit freely.
 	buckets [NumClasses]classBucket
+	// degraded is the surviving-capacity fraction after worker fail-stops
+	// (1 = full fleet). It scales every token bucket's refill rate — the
+	// multiply by 1.0 is bit-exact, so a fault-free run's admission
+	// arithmetic is untouched — and drives ShedClass's bulk-before-
+	// interactive shedding order.
+	degraded float64
 }
 
 // ClassRateLimit meters one SLO class's admission with a token bucket on
@@ -58,7 +64,50 @@ func NewAdmissionController(capacity int) (*AdmissionController, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("serve: non-positive queue capacity %d", capacity)
 	}
-	return &AdmissionController{capacity: capacity}, nil
+	return &AdmissionController{capacity: capacity, degraded: 1}, nil
+}
+
+// SetDegraded records the surviving-capacity fraction (clamped to [0, 1]):
+// class token buckets refill at rate × frac from the next AdmitClass on, and
+// ShedClass starts shedding the classes the surviving fleet can no longer
+// afford. Frac 1 restores healthy behavior exactly.
+func (a *AdmissionController) SetDegraded(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	a.degraded = frac
+}
+
+// Degraded returns the current surviving-capacity fraction.
+func (a *AdmissionController) Degraded() float64 { return a.degraded }
+
+// ShedClass reports whether degraded-mode admission sheds this class before
+// it reaches the queue: bulk is shed under any capacity loss, standard once
+// less than half the fleet survives, interactive never (the shedding order
+// that keeps the tightest SLOs alive on the surviving capacity).
+func (a *AdmissionController) ShedClass(class SLOClass) bool {
+	switch {
+	case a.degraded >= 1 || class >= NumClasses:
+		return false
+	case class == ClassBulk:
+		return true
+	case class == ClassStandard:
+		return a.degraded < 0.5
+	}
+	return false
+}
+
+// Cancel releases n waiting slots without completions — requests that were
+// admitted but then shed (their batch exhausted its retry budget with no
+// live worker), so admission capacity is not leaked to dead work.
+func (a *AdmissionController) Cancel(n int) {
+	a.waiting -= n
+	if a.waiting < 0 {
+		a.waiting = 0
+	}
 }
 
 // SetKindCap bounds one device kind's in-flight requests (0 removes the
@@ -99,7 +148,7 @@ func (a *AdmissionController) AdmitClass(now float64, class SLOClass) bool {
 	}
 	b := &a.buckets[class]
 	if b.active {
-		b.tokens = math.Min(b.burst, b.tokens+(now-b.last)*b.rate)
+		b.tokens = math.Min(b.burst, b.tokens+(now-b.last)*b.rate*a.degraded)
 		b.last = now
 		if b.tokens < 1 {
 			return false

@@ -62,6 +62,7 @@ type RouteAlternative struct {
 	Kind             string
 	PredictedDoneSec float64 // max(closeAt, avail) + predicted service
 	Saturated        bool    // kind had exhausted its admission share
+	Failed           bool    // worker was fail-stopped at the batch's close time
 	Affinity         int     // recency-sketch score (affinity policy; else 0)
 }
 
@@ -94,9 +95,10 @@ type RoutePolicy interface {
 }
 
 // newRoutePolicy builds the named policy over a worker pool (name must be
-// canonical — run ParsePolicy first).
-func newRoutePolicy(name string, pool []*worker, admission *AdmissionController) (RoutePolicy, error) {
-	base := policyBase{pool: pool, admission: admission}
+// canonical — run ParsePolicy first). health is nil for fault-free runs, and
+// every policy then routes exactly as before the fault machinery existed.
+func newRoutePolicy(name string, pool []*worker, admission *AdmissionController, health *fleetHealth) (RoutePolicy, error) {
+	base := policyBase{pool: pool, admission: admission, health: health}
 	switch name {
 	case PolicyEarliest:
 		return &earliestPolicy{base}, nil
@@ -121,6 +123,36 @@ func newRoutePolicy(name string, pool []*worker, admission *AdmissionController)
 type policyBase struct {
 	pool      []*worker
 	admission *AdmissionController
+	// health is the fault schedule's per-worker liveness/stall/straggler
+	// view; nil (no serving faults scripted) keeps every policy on the exact
+	// pre-fault arithmetic. Fail-stopped workers are excluded from every
+	// policy's candidate set, and predictions are fault-adjusted.
+	health *fleetHealth
+}
+
+// excluded reports whether worker i is off the candidate list at time t —
+// only ever true under a fault schedule.
+func (b *policyBase) excluded(i int, t float64) bool {
+	return b.health != nil && !b.health.alive(i, t)
+}
+
+// predictedDone returns worker w's predicted completion for req — the
+// routing arithmetic every policy shares, fault-adjusted when a health view
+// is present (a start in a stall window is pushed past it, a straggler's
+// service is inflated) and bit-identical to the legacy expression otherwise.
+func (b *policyBase) predictedDone(w *worker, req *RouteRequest) (pred, avail float64, err error) {
+	svc, err := w.serviceSec(req.Computed)
+	if err != nil {
+		return 0, 0, err
+	}
+	avail = w.pipe.AvailableAt()
+	start := math.Max(req.CloseAt, avail)
+	if b.health != nil {
+		var f float64
+		start, f = b.health.adjust(w.idx, start)
+		svc *= f
+	}
+	return start + svc, avail, nil
 }
 
 // peerIndex returns the pool index of the CPU peer when a small batch
@@ -130,7 +162,8 @@ func (b *policyBase) peerIndex(req *RouteRequest) int {
 		return -1
 	}
 	for i, w := range b.pool {
-		if w.pipe.DeviceIndex() == 0 && !b.admission.KindSaturated(hw.CPU, req.CloseAt) {
+		if w.pipe.DeviceIndex() == 0 && !b.excluded(i, req.CloseAt) &&
+			!b.admission.KindSaturated(hw.CPU, req.CloseAt) {
 			return i
 		}
 	}
@@ -144,15 +177,16 @@ func (b *policyBase) earliest(req *RouteRequest, skipSaturated bool) (int, error
 	best := -1
 	var bestPred, bestAvail float64
 	for i, w := range b.pool {
+		if b.excluded(i, req.CloseAt) {
+			continue
+		}
 		if skipSaturated && b.admission.KindSaturated(w.pipe.Device().Kind, req.CloseAt) {
 			continue
 		}
-		svc, err := w.serviceSec(req.Computed)
+		pred, avail, err := b.predictedDone(w, req)
 		if err != nil {
 			return -1, err
 		}
-		avail := w.pipe.AvailableAt()
-		pred := math.Max(req.CloseAt, avail) + svc
 		if best < 0 || pred < bestPred ||
 			(pred == bestPred && avail < bestAvail) {
 			best, bestPred, bestAvail = i, pred, avail
@@ -176,12 +210,16 @@ func (b *policyBase) trace(dec *RouteDecision, req *RouteRequest, chosen int, na
 		if err != nil {
 			return err
 		}
-		avail := w.pipe.AvailableAt()
+		pred, _, err := b.predictedDone(w, req)
+		if err != nil {
+			return err
+		}
 		alt := RouteAlternative{
 			Worker:           i,
 			Kind:             w.pipe.Device().Kind.String(),
-			PredictedDoneSec: math.Max(req.CloseAt, avail) + svc,
+			PredictedDoneSec: pred,
 			Saturated:        b.admission.KindSaturated(w.pipe.Device().Kind, req.CloseAt),
+			Failed:           b.excluded(i, req.CloseAt),
 		}
 		if affinity != nil {
 			alt.Affinity = affinity(i)
@@ -236,10 +274,13 @@ type leastLoadedPolicy struct{ policyBase }
 func (p *leastLoadedPolicy) Name() string { return PolicyLeastLoaded }
 
 func (p *leastLoadedPolicy) Route(req *RouteRequest, dec *RouteDecision) (int, error) {
-	wi := 0
-	for i, w := range p.pool[1:] {
-		if w.pipe.AvailableAt() < p.pool[wi].pipe.AvailableAt() {
-			wi = i + 1
+	wi := -1
+	for i, w := range p.pool {
+		if p.excluded(i, req.CloseAt) {
+			continue
+		}
+		if wi < 0 || w.pipe.AvailableAt() < p.pool[wi].pipe.AvailableAt() {
+			wi = i
 		}
 	}
 	if dec != nil {
@@ -297,15 +338,16 @@ func (p *affinityPolicy) pick(req *RouteRequest, skipSaturated bool) (int, error
 	bestScore := -1
 	var bestPred, bestAvail float64
 	for i, w := range p.pool {
+		if p.excluded(i, req.CloseAt) {
+			continue
+		}
 		if skipSaturated && p.admission.KindSaturated(w.pipe.Device().Kind, req.CloseAt) {
 			continue
 		}
-		svc, err := w.serviceSec(req.Computed)
+		pred, avail, err := p.predictedDone(w, req)
 		if err != nil {
 			return -1, err
 		}
-		avail := w.pipe.AvailableAt()
-		pred := math.Max(req.CloseAt, avail) + svc
 		score := p.score(i, req.Targets)
 		if best < 0 || score > bestScore ||
 			(score == bestScore && (pred < bestPred ||

@@ -23,9 +23,11 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fault"
 	"repro/internal/gnn"
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
@@ -108,6 +110,21 @@ type Config struct {
 	// it off on the zero-alloc path.
 	RouteTrace bool
 
+	// Faults scripts deterministic worker failures on the virtual clock (see
+	// fault.Parse): fail-stops drain and exclude workers and retighten
+	// admission to the surviving capacity, stall windows delay batch starts,
+	// and straggler windows inflate service times. Nil or a schedule with no
+	// serving events leaves every code path byte-identical to a fault-free
+	// build.
+	Faults *fault.Schedule
+	// RetryBudget bounds per-batch re-dispatch attempts when the routed
+	// worker is predicted to fail-stop mid-service (0 → 2, negative → no
+	// retries: the batch is shed on first loss).
+	RetryBudget int
+	// SLOTargets sets per-class latency targets for deadline-miss
+	// accounting; empty disables it (and leaves Stats byte-identical).
+	SLOTargets []ClassSLO
+
 	QuantizeTransfer bool // int8 feature transfer for accelerator workers
 	Seed             uint64
 }
@@ -180,9 +197,18 @@ type server struct {
 	stats           *Stats
 	latencies       []float64
 	latClasses      []SLOClass // class of latencies[i], for per-class quantiles
+	latDone         []float64  // completion time of latencies[i], for the fault window
 	lastCompletion  float64
 	batchReqSum     int
 	computedBatches int
+
+	// Fault-injection state: health is nil without serving faults, and every
+	// hot path then takes its pre-fault branch.
+	health      *fleetHealth
+	retryBudget int
+	recoveryEnd float64 // latest re-dispatched completion (recovery metric)
+	sloTargets  [NumClasses]float64
+	haveSLO     bool
 
 	// Dispatch scratch, all MaxBatch-bounded and reused per batch.
 	keys    []CacheKey  // lookup keys, one per batch request
@@ -262,6 +288,35 @@ func newServer(cfg Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var health *fleetHealth
+	if cfg.Faults.HasServing() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		health, err = newFleetHealth(cfg.Faults, len(pool))
+		if err != nil {
+			return nil, err
+		}
+	}
+	retryBudget := cfg.RetryBudget
+	switch {
+	case retryBudget == 0:
+		retryBudget = 2
+	case retryBudget < 0:
+		retryBudget = 0
+	}
+	var sloTargets [NumClasses]float64
+	haveSLO := false
+	for _, t := range cfg.SLOTargets {
+		if t.Class >= NumClasses {
+			return nil, fmt.Errorf("serve: SLO target class %d out of range", t.Class)
+		}
+		if t.TargetSec <= 0 {
+			return nil, fmt.Errorf("serve: non-positive SLO target %v for %s", t.TargetSec, t.Class)
+		}
+		sloTargets[t.Class] = t.TargetSec
+		haveSLO = true
+	}
 	batcher, err := NewSplitBatcher(cfg.MaxBatch, cfg.WindowSec, cfg.SmallBatchCut)
 	if err != nil {
 		return nil, err
@@ -290,7 +345,7 @@ func newServer(cfg Config) (*server, error) {
 			return nil, err
 		}
 	}
-	policy, err := newRoutePolicy(cfg.Policy, pool, admission)
+	policy, err := newRoutePolicy(cfg.Policy, pool, admission, health)
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +363,12 @@ func newServer(cfg Config) (*server, error) {
 		stats:      &Stats{Routes: make([]int, 0, cfg.NumRequests)},
 		latencies:  make([]float64, 0, cfg.NumRequests),
 		latClasses: make([]SLOClass, 0, cfg.NumRequests),
+		latDone:    make([]float64, 0, cfg.NumRequests),
+
+		health:      health,
+		retryBudget: retryBudget,
+		sloTargets:  sloTargets,
+		haveSLO:     haveSLO,
 
 		keys:      make([]CacheKey, cfg.MaxBatch),
 		ready:     make([]float64, cfg.MaxBatch),
@@ -357,6 +418,7 @@ func newArrivalSource(cfg Config, rng *tensor.RNG) (arrivalSource, error) {
 func (s *server) serveReq(r Request, done float64, computed bool) {
 	s.latencies = append(s.latencies, done-r.Arrival)
 	s.latClasses = append(s.latClasses, r.Class)
+	s.latDone = append(s.latDone, done)
 	if r.Class < NumClasses {
 		s.stats.PerClass[r.Class].Served++
 	}
@@ -406,27 +468,93 @@ func (s *server) dispatch(batch []Request, closeAt float64) error {
 
 	kind := hw.CPU
 	if len(s.order) > 0 {
-		s.routeReq = RouteRequest{
-			Computed: len(s.order),
-			CloseAt:  closeAt,
-			Small:    s.batcher.Small(len(s.order)),
-			Targets:  s.order,
+		// Route, then (under a fault schedule) check whether the chosen
+		// worker is predicted to fail-stop before the batch completes — a
+		// batch in flight on a dying worker is lost and re-routed at the
+		// fail time plus a deadline-aware backoff, up to the retry budget.
+		// With no schedule the loop runs exactly once and the arithmetic is
+		// the pre-fault dispatch byte for byte.
+		routeAt := closeAt
+		attempt := 0
+		shed := false
+		var wi int
+		for {
+			s.routeReq = RouteRequest{
+				Computed: len(s.order),
+				CloseAt:  routeAt,
+				Small:    s.batcher.Small(len(s.order)),
+				Targets:  s.order,
+			}
+			var dec *RouteDecision
+			if s.cfg.RouteTrace {
+				s.stats.RouteTrace = append(s.stats.RouteTrace, RouteDecision{Batch: len(s.stats.Routes)})
+				dec = &s.stats.RouteTrace[len(s.stats.RouteTrace)-1]
+			}
+			var err error
+			wi, err = s.policy.Route(&s.routeReq, dec)
+			if err != nil {
+				return err
+			}
+			if wi < 0 { // every worker fail-stopped: nothing can serve this batch
+				shed = true
+				break
+			}
+			if s.health == nil {
+				break
+			}
+			w := s.pool[wi]
+			svc, err := w.serviceSec(len(s.order))
+			if err != nil {
+				return err
+			}
+			start, f := s.health.adjust(wi, math.Max(routeAt, w.pipe.AvailableAt()))
+			if ft := s.health.failTime(wi); start+svc*f > ft {
+				// Predicted to die mid-service: the batch re-dispatches after
+				// the failure (the loss is observed at the fail time).
+				s.stats.Retries++
+				attempt++
+				if attempt > s.retryBudget {
+					shed = true
+					break
+				}
+				routeAt = ft + s.retryBackoff(attempt, batch, hit, ft)
+				continue
+			}
+			break
 		}
-		var dec *RouteDecision
-		if s.cfg.RouteTrace {
-			s.stats.RouteTrace = append(s.stats.RouteTrace, RouteDecision{Batch: len(s.stats.Routes)})
-			dec = &s.stats.RouteTrace[len(s.stats.RouteTrace)-1]
-		}
-		wi, err := s.policy.Route(&s.routeReq, dec)
-		if err != nil {
-			return err
+		if shed {
+			s.shedBatch(batch, hit)
+			s.admission.DispatchedKind(hw.CPU, s.hitDone)
+			return nil
 		}
 		w := s.pool[wi]
 		res, err := w.pipe.RunBatch(s.order)
 		if err != nil {
 			return err
 		}
-		done := w.pipe.CompleteAfter(closeAt, res.Stage)
+		ready := routeAt
+		stage := res.Stage
+		if s.health != nil {
+			// Apply the scripted stall/straggler windows to the executed
+			// batch exactly as routing predicted them: a stalled start is
+			// pushed past the window, a straggler's stages are inflated.
+			start := math.Max(routeAt, w.pipe.AvailableAt())
+			adjStart, f := s.health.adjust(wi, start)
+			if adjStart > start {
+				ready = adjStart
+			}
+			if f != 1 {
+				stage = stage.Scaled(f)
+			}
+			res.Stage = stage
+		}
+		done := w.pipe.CompleteAfter(ready, stage)
+		if attempt > 0 {
+			s.stats.Redispatched++
+			if done > s.recoveryEnd {
+				s.recoveryEnd = done
+			}
+		}
 		kind = w.pipe.Device().Kind
 		s.putKeys, s.putEmbs = s.putKeys[:0], s.putEmbs[:0]
 		for i, v := range s.order {
@@ -465,9 +593,90 @@ func (s *server) dispatch(batch []Request, closeAt float64) error {
 	return nil
 }
 
+// shedBatch abandons a batch's cache-missing requests (no live worker, or
+// retry budget exhausted): they count as shed — not served, not rejected —
+// and their admission slots are released so capacity is not leaked to dead
+// work. The batch's cache hits were already answered by the host.
+func (s *server) shedBatch(batch []Request, hit []bool) {
+	n := 0
+	for i, r := range batch {
+		if hit[i] {
+			continue
+		}
+		n++
+		s.stats.Shed++
+		if r.Class < NumClasses {
+			s.stats.PerClass[r.Class].Shed++
+		}
+	}
+	s.admission.Cancel(n)
+}
+
+// retryBackoff returns the wait after a predicted mid-service worker loss
+// before re-dispatching (attempt counts from 1): exponential over the
+// batching window, capped by the tightest remaining SLO budget among the
+// batch's computed requests so a retry never deliberately overshoots a
+// deadline it could still make.
+func (s *server) retryBackoff(attempt int, batch []Request, hit []bool, failAt float64) float64 {
+	base := s.cfg.WindowSec
+	if base <= 0 {
+		base = 1e-4
+	}
+	d := base * float64(int(1)<<uint(attempt-1))
+	if s.haveSLO {
+		tight := math.Inf(1)
+		for i, r := range batch {
+			if hit[i] {
+				continue
+			}
+			if t := s.sloTargets[r.Class]; t > 0 {
+				if rem := r.Arrival + t - failAt; rem < tight {
+					tight = rem
+				}
+			}
+		}
+		if tight > 0 && d > tight {
+			d = tight
+		}
+	}
+	return d
+}
+
+// applyFailures applies every scripted fail-stop at or before now to the
+// admission plane: per-kind in-flight caps are re-split over the surviving
+// workers and class buckets retighten to the surviving-capacity fraction
+// (degraded-mode admission). Routing needs no application step — worker
+// liveness is a pure function of virtual time.
+func (s *server) applyFailures(now float64) {
+	n := s.health.popFailures(now)
+	if n == 0 {
+		return
+	}
+	s.stats.FailedWorkers += n
+	alive := s.health.aliveCount(now)
+	s.admission.SetDegraded(float64(alive) / float64(len(s.pool)))
+	if alive == 0 {
+		return
+	}
+	var counts [hw.KindCount]int
+	for i, w := range s.pool {
+		if s.health.alive(i, now) {
+			counts[w.pipe.Device().Kind]++
+		}
+	}
+	for kind, c := range counts {
+		if c > 0 {
+			s.admission.SetKindCap(hw.Kind(kind), max(1, s.cfg.QueueCap*c/alive))
+		}
+	}
+}
+
 // offer feeds one arrival through deadline-expiry, admission, and batching —
 // the event loop's body, exposed for the zero-alloc gate and benchmarks.
 func (s *server) offer(r Request) error {
+	if s.health != nil {
+		s.applyFailures(r.Arrival)
+	}
 	s.stats.Offered++
 	if r.Class < NumClasses {
 		s.stats.PerClass[r.Class].Offered++
@@ -480,6 +689,15 @@ func (s *server) offer(r Request) error {
 		if err := s.dispatch(batch, closeAt); err != nil {
 			return err
 		}
+	}
+	if s.health != nil && s.admission.ShedClass(r.Class) {
+		// Degraded-mode admission: shed the classes the surviving capacity
+		// can no longer afford, bulk before interactive.
+		s.stats.Shed++
+		if r.Class < NumClasses {
+			s.stats.PerClass[r.Class].Shed++
+		}
+		return nil
 	}
 	if !s.admission.AdmitClass(r.Arrival, r.Class) {
 		s.stats.Rejected++
@@ -523,6 +741,36 @@ func (s *server) finish() (*Stats, error) {
 	if stats.MakespanSec > 0 {
 		stats.ThroughputRPS = float64(stats.Served) / stats.MakespanSec
 		stats.EdgesPerSec /= stats.MakespanSec
+	}
+	if s.haveSLO {
+		for i, l := range s.latencies {
+			c := s.latClasses[i]
+			if t := s.sloTargets[c]; t > 0 && l > t {
+				stats.DeadlineMisses++
+				stats.PerClass[c].DeadlineMisses++
+			}
+		}
+		for c := range stats.PerClass {
+			stats.PerClass[c].SLOSec = s.sloTargets[c]
+		}
+	}
+	if s.health != nil && !math.IsInf(s.health.firstFailSec, 1) {
+		if s.recoveryEnd > s.health.firstFailSec {
+			stats.RecoverySec = s.recoveryEnd - s.health.firstFailSec
+		}
+		// Tail of the fault window: requests whose completions land at or
+		// after the first fail-stop.
+		var window []float64
+		for i, done := range s.latDone {
+			if done >= s.health.firstFailSec {
+				window = append(window, s.latencies[i])
+			}
+		}
+		stats.FaultWindowServed = len(window)
+		if len(window) > 0 {
+			sort.Float64s(window)
+			stats.FaultWindowP99Sec = percentile(window, 0.99)
+		}
 	}
 	for _, w := range s.pool {
 		stats.PerDevice = append(stats.PerDevice, w.stats)
